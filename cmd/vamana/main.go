@@ -1,0 +1,277 @@
+// Command vamana is the VAMANA XPath engine's command-line interface.
+//
+//	vamana load  -db site.vam -name auction auction.xml
+//	vamana query -db site.vam -doc auction [-opt] '//person/address'
+//	vamana query -xml auction.xml '//person/address'
+//	vamana explain -db site.vam -doc auction '//person/address'
+//	vamana stats -db site.vam -doc auction [-name person] [-text 'Yung Flach']
+//	vamana docs  -db site.vam
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vamana"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "load":
+		err = cmdLoad(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "docs":
+		err = cmdDocs(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "vamana: unknown command %q\n", os.Args[1])
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vamana:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  vamana load    -db FILE -name NAME XMLFILE   index a document into a database
+  vamana query   (-db FILE -doc NAME | -xml XMLFILE) [-opt] [-values] [-limit N] XPATH
+  vamana explain (-db FILE -doc NAME | -xml XMLFILE) [-default] [-analyze] XPATH
+  vamana stats   -db FILE -doc NAME [-name ELEM] [-text VALUE]
+  vamana docs    -db FILE
+`)
+	os.Exit(2)
+}
+
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file")
+	name := fs.String("name", "", "document name (defaults to the file path)")
+	fs.Parse(args)
+	if *dbPath == "" || fs.NArg() != 1 {
+		return fmt.Errorf("load needs -db and one XML file")
+	}
+	xmlPath := fs.Arg(0)
+	if *name == "" {
+		*name = xmlPath
+	}
+	db, err := vamana.Open(vamana.Options{Path: *dbPath})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	f, err := os.Open(xmlPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	doc, err := db.LoadXML(*name, f)
+	if err != nil {
+		return err
+	}
+	st, err := doc.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indexed %q: %d nodes, %d elements, %d text nodes\n", *name, st.Nodes, st.Elements, st.Texts)
+	return nil
+}
+
+// openDoc resolves the (-db,-doc) or (-xml) source into a document.
+func openDoc(dbPath, docName, xmlPath string) (*vamana.DB, *vamana.Document, error) {
+	switch {
+	case xmlPath != "":
+		db, err := vamana.Open(vamana.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := os.Open(xmlPath)
+		if err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+		defer f.Close()
+		doc, err := db.LoadXML(xmlPath, f)
+		if err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+		return db, doc, nil
+	case dbPath != "" && docName != "":
+		db, err := vamana.Open(vamana.Options{Path: dbPath})
+		if err != nil {
+			return nil, nil, err
+		}
+		doc, err := db.Document(docName)
+		if err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+		return db, doc, nil
+	default:
+		return nil, nil, fmt.Errorf("need either -xml FILE or -db FILE -doc NAME")
+	}
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file")
+	docName := fs.String("doc", "", "document name")
+	xmlPath := fs.String("xml", "", "query an XML file directly (ephemeral in-memory index)")
+	optimized := fs.Bool("opt", true, "run the cost-driven optimizer")
+	values := fs.Bool("values", false, "print each result's string-value")
+	limit := fs.Int("limit", 0, "stop after N results (0 = all)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("query needs exactly one XPath expression")
+	}
+	db, doc, err := openDoc(*dbPath, *docName, *xmlPath)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	var q *vamana.Query
+	if *optimized {
+		q, err = db.CompileOptimized(doc, fs.Arg(0))
+	} else {
+		q, err = db.Compile(fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+	res, err := q.Execute(doc)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for res.Next() {
+		node, err := res.Node()
+		if err != nil {
+			return err
+		}
+		if *values {
+			sv, err := res.StringValue()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s\t%s\t%s\t%s\n", node.Key, node.Kind, node.Name, sv)
+		} else {
+			fmt.Printf("%s\t%s\t%s\n", node.Key, node.Kind, node.Name)
+		}
+		n++
+		if *limit > 0 && n >= *limit {
+			break
+		}
+	}
+	if err := res.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d result(s)\n", n)
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file")
+	docName := fs.String("doc", "", "document name")
+	xmlPath := fs.String("xml", "", "explain against an XML file directly")
+	deflt := fs.Bool("default", false, "show the default (unoptimized) plan instead")
+	analyze := fs.Bool("analyze", false, "execute the query and include actual per-operator tuple counts")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("explain needs exactly one XPath expression")
+	}
+	db, doc, err := openDoc(*dbPath, *docName, *xmlPath)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	var q *vamana.Query
+	if *deflt {
+		q, err = db.Compile(fs.Arg(0))
+	} else {
+		q, err = db.CompileOptimized(doc, fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+	var out string
+	if *analyze {
+		out, err = q.ExplainAnalyze(doc)
+	} else {
+		out, err = q.Explain(doc)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file")
+	docName := fs.String("doc", "", "document name")
+	xmlPath := fs.String("xml", "", "stat an XML file directly")
+	elem := fs.String("name", "", "count elements with this name (COUNT probe)")
+	text := fs.String("text", "", "count text nodes with this value (TC probe)")
+	fs.Parse(args)
+	db, doc, err := openDoc(*dbPath, *docName, *xmlPath)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	st, err := doc.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("document %q: %d nodes, %d elements, %d text nodes\n", doc.Name(), st.Nodes, st.Elements, st.Texts)
+	if *elem != "" {
+		n, err := doc.CountName(*elem)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("COUNT(%s) = %d\n", *elem, n)
+	}
+	if *text != "" {
+		n, err := doc.TextCount(*text)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("TC(%q) = %d\n", *text, n)
+	}
+	return nil
+}
+
+func cmdDocs(args []string) error {
+	fs := flag.NewFlagSet("docs", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file")
+	fs.Parse(args)
+	if *dbPath == "" {
+		return fmt.Errorf("docs needs -db")
+	}
+	db, err := vamana.Open(vamana.Options{Path: *dbPath})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	for _, name := range db.Documents() {
+		fmt.Println(name)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// Command xmarkgen generates XMark-shaped auction documents (the paper's
+// benchmark data) deterministically.
+//
+// Usage:
+//
+//	xmarkgen -size 10MB -seed 42 -o auction.xml
+//	xmarkgen -factor 0.1 > auction.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"vamana/internal/xmark"
+)
+
+func main() {
+	var (
+		sizeStr = flag.String("size", "", "target document size, e.g. 512KB, 10MB (overrides -factor)")
+		factor  = flag.Float64("factor", 0.01, "XMark scale factor (1.0 is roughly 100MB)")
+		seed    = flag.Int64("seed", 42, "random seed; equal configs generate identical documents")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	f := *factor
+	if *sizeStr != "" {
+		bytes, err := parseSize(*sizeStr)
+		if err != nil {
+			fatal(err)
+		}
+		f = xmark.FactorForBytes(bytes)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer file.Close()
+		w = file
+	}
+	n, err := xmark.Generate(w, xmark.Config{Factor: f, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	c := xmark.CountsFor(f)
+	fmt.Fprintf(os.Stderr, "wrote %.2f MB (factor %.4f): %d persons, %d items, %d open auctions, %d closed auctions\n",
+		float64(n)/(1<<20), f, c.Persons, c.Items, c.OpenAuctions, c.ClosedAuctions)
+}
+
+func parseSize(s string) (int, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(u, "GB"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "GB")
+	case strings.HasSuffix(u, "MB"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "MB")
+	case strings.HasSuffix(u, "KB"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "KB")
+	case strings.HasSuffix(u, "B"):
+		u = strings.TrimSuffix(u, "B")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(u))
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("xmarkgen: bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"10MB", 10 << 20, true},
+		{"512KB", 512 << 10, true},
+		{"1GB", 1 << 30, true},
+		{"100B", 100, true},
+		{"100", 100, true},
+		{" 2 MB ", 2 << 20, true},
+		{"10mb", 10 << 20, true},
+		{"", 0, false},
+		{"-5MB", 0, false},
+		{"tenMB", 0, false},
+		{"0", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseSize(%q) succeeded with %d, want error", c.in, got)
+		}
+	}
+}

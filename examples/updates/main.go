@@ -1,0 +1,132 @@
+// Updates: demonstrates in-place document updates and the property the
+// paper builds its cost model on — statistics that are exact immediately
+// after every insert, update and delete, with no histogram maintenance
+// (§I: "cost accuracy is not affected by updates, inserts and deletes").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vamana"
+)
+
+func main() {
+	db, err := vamana.Open(vamana.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	doc, err := db.LoadXMLString("store", `<store><catalog/></store>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := db.Compile("//catalog")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := q.Execute(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	keys, err := res.Keys()
+	if err != nil {
+		log.Fatal(err)
+	}
+	catalog := keys[0]
+
+	// Grow the document through the update API.
+	fmt.Println("inserting 1000 products...")
+	for i := 0; i < 1000; i++ {
+		product, err := doc.InsertElement(catalog, -1, "product")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := doc.InsertAttribute(product, "sku", fmt.Sprintf("SKU-%04d", i)); err != nil {
+			log.Fatal(err)
+		}
+		name, err := doc.InsertElement(product, -1, "name")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := doc.InsertText(name, -1, fmt.Sprintf("Product %d", i)); err != nil {
+			log.Fatal(err)
+		}
+		status, err := doc.InsertElement(product, -1, "status")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := doc.InsertText(status, -1, pick(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report(doc, "after inserts")
+
+	// Statistics are already exact — no ANALYZE step exists or is needed.
+	discontinued := query(db, doc, "//product[status='discontinued']")
+	fmt.Printf("discontinued products: %d\n\n", len(discontinued))
+
+	// Flip some statuses and delete the discontinued stock.
+	fmt.Println("updating 100 statuses, deleting discontinued products...")
+	active := query(db, doc, "//product[status='active']/status/text()")
+	for i := 0; i < 100 && i < len(active); i++ {
+		if err := doc.UpdateText(active[i], "backorder"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, k := range discontinued {
+		if err := doc.DeleteSubtree(k); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report(doc, "after updates and deletes")
+
+	// The optimizer consumes the same live statistics: explain a value
+	// query and watch TC drive the plan.
+	qe, err := db.CompileOptimized(doc, "//product[status='backorder']")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := qe.Explain(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+}
+
+func pick(i int) string {
+	switch {
+	case i%10 == 0:
+		return "discontinued"
+	case i%3 == 0:
+		return "seasonal"
+	default:
+		return "active"
+	}
+}
+
+func query(db *vamana.DB, doc *vamana.Document, expr string) []string {
+	q, err := db.Compile(expr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := q.Execute(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	keys, err := res.Keys()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return keys
+}
+
+func report(doc *vamana.Document, label string) {
+	products, _ := doc.CountName("product")
+	tcActive, _ := doc.TextCount("active")
+	tcDisc, _ := doc.TextCount("discontinued")
+	tcBack, _ := doc.TextCount("backorder")
+	fmt.Printf("%s: COUNT(product)=%d  TC(active)=%d  TC(discontinued)=%d  TC(backorder)=%d\n\n",
+		label, products, tcActive, tcDisc, tcBack)
+}

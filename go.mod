@@ -1,0 +1,3 @@
+module vamana
+
+go 1.22

@@ -1,0 +1,168 @@
+package dom
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vamana/internal/mass"
+	"vamana/internal/xmldoc"
+	"vamana/internal/xpath"
+)
+
+const bookXML = `<library>
+  <shelf id="s1">
+    <book lang="en"><title>Systems</title><year>1999</year></book>
+    <book lang="de"><title>Datenbanken</title><year>2003</year></book>
+    <book lang="en"><title>Indexing</title><year>2001</year></book>
+  </shelf>
+  <shelf id="s2">
+    <book lang="fr"><title>Requêtes</title><year>2001</year></book>
+  </shelf>
+</library>`
+
+func engine(t *testing.T, src string, opts Options) *Engine {
+	t.Helper()
+	doc, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(doc, opts)
+}
+
+func titles(t *testing.T, e *Engine, expr string) []string {
+	t.Helper()
+	ns, err := e.Eval(expr)
+	if err != nil {
+		t.Fatalf("%s: %v", expr, err)
+	}
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = n.StringValue()
+	}
+	return out
+}
+
+func TestKnownAnswers(t *testing.T) {
+	e := engine(t, bookXML, Options{})
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{"//book/title", []string{"Systems", "Datenbanken", "Indexing", "Requêtes"}},
+		{"//book[@lang='en']/title", []string{"Systems", "Indexing"}},
+		{"//book[year=2001]/title", []string{"Indexing", "Requêtes"}},
+		{"//shelf[@id='s2']//title", []string{"Requêtes"}},
+		{"//book[2]/title", []string{"Datenbanken"}},
+		{"//book[last()]/title", []string{"Indexing", "Requêtes"}},
+		{"//title[text()='Systems']", []string{"Systems"}},
+		{"//year[.='1999']/preceding-sibling::title", []string{"Systems"}},
+		{"//book[not(@lang='en')]/title", []string{"Datenbanken", "Requêtes"}},
+		{"//book[year>1999 and year<2003]/title", []string{"Indexing", "Requêtes"}},
+		{"//shelf[count(book)=3]/@id", []string{"s1"}},
+		{"//book[starts-with(title,'Index')]/year", []string{"2001"}},
+	}
+	for _, c := range cases {
+		got := titles(t, e, c.expr)
+		if strings.Join(got, "|") != strings.Join(c.want, "|") {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestDocumentOrderAndDedup(t *testing.T) {
+	e := engine(t, bookXML, Options{})
+	// ancestor-or-self from multiple contexts produces duplicates that
+	// Eval must fold, in document order.
+	ns, err := e.Eval("//title/ancestor::shelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 2 {
+		t.Fatalf("shelves = %d, want 2", len(ns))
+	}
+	if ns[0].Pos > ns[1].Pos {
+		t.Fatal("results out of document order")
+	}
+}
+
+func TestStringValueNested(t *testing.T) {
+	e := engine(t, `<a>x<b>y<c>z</c></b>w</a>`, Options{})
+	ns, _ := e.Eval("/a")
+	if got := ns[0].StringValue(); got != "xyzw" {
+		t.Fatalf("string value = %q", got)
+	}
+}
+
+func TestUnsupportedAxisOption(t *testing.T) {
+	e := engine(t, bookXML, Options{UnsupportedAxes: []mass.Axis{mass.AxisFollowingSibling}})
+	_, err := e.Eval("//title/following-sibling::year")
+	var ua *ErrUnsupportedAxis
+	if !errors.As(err, &ua) {
+		t.Fatalf("err = %v, want ErrUnsupportedAxis", err)
+	}
+	if ua.Axis != mass.AxisFollowingSibling {
+		t.Fatalf("axis = %v", ua.Axis)
+	}
+	// Other axes still work.
+	if _, err := e.Eval("//book/title"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseBuildsLinks(t *testing.T) {
+	doc, err := Parse(strings.NewReader(bookXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Kind != xmldoc.KindDocument {
+		t.Fatal("root is not the document node")
+	}
+	var book *Node
+	for _, n := range doc.Nodes {
+		if n.Kind == xmldoc.KindElement && n.Name == "book" {
+			book = n
+			break
+		}
+	}
+	if book == nil {
+		t.Fatal("no book element")
+	}
+	if book.Parent == nil || book.Parent.Name != "shelf" {
+		t.Fatalf("book parent = %+v", book.Parent)
+	}
+	if len(book.Attrs) != 1 || book.Attrs[0].Name != "lang" {
+		t.Fatalf("book attrs = %v", book.Attrs)
+	}
+	if len(book.Children) != 2 {
+		t.Fatalf("book children = %d", len(book.Children))
+	}
+	// Document order positions are strictly increasing.
+	for i := 1; i < len(doc.Nodes); i++ {
+		if doc.Nodes[i].Pos != i {
+			t.Fatalf("node %d has Pos %d", i, doc.Nodes[i].Pos)
+		}
+	}
+}
+
+func TestEvalPredicateHook(t *testing.T) {
+	e := engine(t, bookXML, Options{})
+	ns, _ := e.Eval("//book")
+	ast, err := xpath.Parse("year > 2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for i, n := range ns {
+		ok, err := e.EvalPredicate(ast, n, i+1, len(ns))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			kept++
+		}
+	}
+	if kept != 3 {
+		t.Fatalf("books after 2000 = %d, want 3", kept)
+	}
+}

@@ -1,0 +1,62 @@
+package galax
+
+import (
+	"strings"
+	"testing"
+
+	"vamana/internal/baseline/dom"
+	"vamana/internal/xmark"
+)
+
+// TestDifferentialAgainstPlainDOM: the Galax-strategy engine shares the
+// DOM substrate but takes the sorted-set path at every step; results must
+// nevertheless be identical to the plain engine's on every supported
+// query.
+func TestDifferentialAgainstPlainDOM(t *testing.T) {
+	src := xmark.GenerateString(xmark.Config{Factor: 0.003, Seed: 43})
+	g, err := New(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainDoc, err := dom.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := dom.New(plainDoc, dom.Options{})
+
+	queries := []string{
+		"//person/address",
+		"//watches/watch/ancestor::person",
+		"/descendant::name/parent::*/self::person/address",
+		"//province[text()='Vermont']/ancestor::person",
+		"//person[@id='person5']",
+		"//address[zipcode > 50]/city",
+		"//open_auction/bidder/personref",
+		"//person[count(watches/watch) > 1]/name",
+		"//item[contains(name, 'gold')]",
+		"//category | //edge",
+		"//person[2]/name",
+	}
+	for _, q := range queries {
+		got, err := g.Eval(q)
+		if err != nil {
+			t.Errorf("galax %q: %v", q, err)
+			continue
+		}
+		want, err := plain.Eval(q)
+		if err != nil {
+			t.Fatalf("plain %q: %v", q, err)
+		}
+		gk, wk := dom.Keys(got), dom.Keys(want)
+		if len(gk) != len(wk) {
+			t.Errorf("%q: galax %d keys, plain %d", q, len(gk), len(wk))
+			continue
+		}
+		for i := range gk {
+			if gk[i] != wk[i] {
+				t.Errorf("%q: key %d differs (%s vs %s)", q, i, gk[i], wk[i])
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Package galax models the Galax XQuery engine's evaluation strategy as
+// the paper characterizes it (§II, §VIII): a DOM-based engine with
+// logical, statistics-free optimization, full node-set (sorted, distinct)
+// semantics maintained at every step, and gaps in axis support — "Galax
+// does not support certain axes like following-sibling".
+package galax
+
+import (
+	"strings"
+
+	"vamana/internal/baseline/dom"
+	"vamana/internal/mass"
+)
+
+// Engine evaluates XPath the Galax way. It is a configured dom.Engine:
+// the strategy (materialized DOM + top-down traversal) is shared; the
+// options model Galax's documented behavior.
+type Engine struct {
+	*dom.Engine
+}
+
+// New parses src and returns a Galax-strategy engine.
+func New(src string) (*Engine, error) {
+	doc, err := dom.Parse(strings.NewReader(src))
+	if err != nil {
+		return nil, err
+	}
+	e := dom.New(doc, dom.Options{
+		SortEveryStep: true,
+		UnsupportedAxes: []mass.Axis{
+			mass.AxisFollowingSibling,
+			mass.AxisPrecedingSibling,
+		},
+	})
+	return &Engine{Engine: e}, nil
+}

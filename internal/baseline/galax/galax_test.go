@@ -1,0 +1,42 @@
+package galax
+
+import (
+	"errors"
+	"testing"
+
+	"vamana/internal/baseline/dom"
+	"vamana/internal/xmark"
+)
+
+func TestEvaluatesSupportedQueries(t *testing.T) {
+	src := xmark.GenerateString(xmark.Config{Factor: 0.002, Seed: 41})
+	e, err := New(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Eval("//person/address")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no addresses found")
+	}
+}
+
+func TestAxisGap(t *testing.T) {
+	src := xmark.GenerateString(xmark.Config{Factor: 0.001, Seed: 42})
+	e, err := New(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: "Galax does not support certain axes like
+	// following-sibling" — Q4 must fail on this engine.
+	if _, err := e.Eval("//itemref/following-sibling::price/parent::*"); err == nil {
+		t.Fatal("following-sibling should be unsupported")
+	} else {
+		var ua *dom.ErrUnsupportedAxis
+		if !errors.As(err, &ua) {
+			t.Fatalf("error type %T: %v", err, err)
+		}
+	}
+}

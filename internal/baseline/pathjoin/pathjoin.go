@@ -1,0 +1,406 @@
+// Package pathjoin implements an eXist-style native XPath engine as the
+// paper characterizes it (§II): elements and attributes are indexed by
+// name in inverted lists, location steps are evaluated with structural
+// path-join algorithms over those lists, and value predicates fall back to
+// conventional in-memory tree traversal. The DOM itself is kept in an XML
+// data store (here: the dom package's document).
+//
+// Like eXist at the time of the study, the engine does not support the
+// horizontal axes (following, following-sibling, preceding,
+// preceding-sibling) and refuses documents beyond a configurable size.
+package pathjoin
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"vamana/internal/baseline/dom"
+	"vamana/internal/mass"
+	"vamana/internal/xmldoc"
+	"vamana/internal/xpath"
+)
+
+// Options tunes the engine.
+type Options struct {
+	// MaxDocumentBytes models eXist's document size limit ("eXist is
+	// unable [to] store large complex documents having sizes >= 20Mb",
+	// §VIII). 0 disables the check.
+	MaxDocumentBytes int
+}
+
+// ErrTooLarge is returned when a document exceeds the configured limit.
+type ErrTooLarge struct{ Size, Limit int }
+
+func (e *ErrTooLarge) Error() string {
+	return fmt.Sprintf("pathjoin: document of %d bytes exceeds the %d byte store limit", e.Size, e.Limit)
+}
+
+// Engine is a path-join XPath evaluator over one document.
+type Engine struct {
+	doc      *dom.Document
+	fallback *dom.Engine // tree-traversal fallback for predicates
+
+	names map[string][]*dom.Node // element name -> nodes, document order
+	attrs map[string][]*dom.Node // attribute name -> nodes, document order
+	end   map[*dom.Node]int      // subtree interval end (max Pos in subtree)
+}
+
+// New parses and indexes the document from src (a string keeps the size
+// check honest).
+func New(src string, opts Options) (*Engine, error) {
+	if opts.MaxDocumentBytes > 0 && len(src) > opts.MaxDocumentBytes {
+		return nil, &ErrTooLarge{Size: len(src), Limit: opts.MaxDocumentBytes}
+	}
+	d, err := dom.Parse(readerOf(src))
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		doc:      d,
+		fallback: dom.New(d, dom.Options{}),
+		names:    map[string][]*dom.Node{},
+		attrs:    map[string][]*dom.Node{},
+		end:      make(map[*dom.Node]int, len(d.Nodes)),
+	}
+	// Build the inverted name indexes ("eXist indexes elements or
+	// attributes based on their corresponding names", §II) and the
+	// subtree intervals the structural joins merge on.
+	for _, n := range d.Nodes {
+		switch n.Kind {
+		case xmldoc.KindElement:
+			e.names[n.Name] = append(e.names[n.Name], n)
+		case xmldoc.KindAttribute:
+			e.attrs[n.Name] = append(e.attrs[n.Name], n)
+		}
+	}
+	var assign func(n *dom.Node) int
+	assign = func(n *dom.Node) int {
+		maxPos := n.Pos
+		for _, a := range n.Attrs {
+			e.end[a] = a.Pos
+			if a.Pos > maxPos {
+				maxPos = a.Pos
+			}
+		}
+		for _, c := range n.Children {
+			if m := assign(c); m > maxPos {
+				maxPos = m
+			}
+		}
+		e.end[n] = maxPos
+		return maxPos
+	}
+	assign(d.Root)
+	return e, nil
+}
+
+func readerOf(s string) io.Reader { return &stringReader{s: s} }
+
+// stringReader avoids importing strings just for NewReader.
+type stringReader struct {
+	s string
+	i int
+}
+
+func (r *stringReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.s) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.s[r.i:])
+	r.i += n
+	return n, nil
+}
+
+// ErrUnsupportedAxis reports an axis outside the engine's join algebra.
+type ErrUnsupportedAxis struct{ Axis mass.Axis }
+
+func (e *ErrUnsupportedAxis) Error() string {
+	return fmt.Sprintf("pathjoin: axis %s is not supported by the path-join engine", e.Axis)
+}
+
+// Eval evaluates a location path (or union of paths) and returns the
+// result node set in document order.
+func (e *Engine) Eval(expr string) ([]*dom.Node, error) {
+	ast, err := xpath.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := e.evalExpr(ast)
+	if err != nil {
+		return nil, err
+	}
+	return ns, nil
+}
+
+func (e *Engine) evalExpr(ast xpath.Expr) ([]*dom.Node, error) {
+	switch t := ast.(type) {
+	case *xpath.LocationPath:
+		return e.evalPath(t, e.doc.Root)
+	case *xpath.Binary:
+		if t.Op == xpath.OpUnion {
+			l, err := e.evalExpr(t.Left)
+			if err != nil {
+				return nil, err
+			}
+			r, err := e.evalExpr(t.Right)
+			if err != nil {
+				return nil, err
+			}
+			return orderedMerge(l, r), nil
+		}
+	}
+	return nil, fmt.Errorf("pathjoin: expression is not a location path")
+}
+
+// evalPath evaluates the steps with set-at-a-time structural joins.
+func (e *Engine) evalPath(lp *xpath.LocationPath, root *dom.Node) ([]*dom.Node, error) {
+	cur := []*dom.Node{root}
+	for _, step := range lp.Steps {
+		next, err := e.evalStep(cur, step)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (e *Engine) evalStep(cur []*dom.Node, step *xpath.Step) ([]*dom.Node, error) {
+	cand, err := e.axisJoin(cur, step.Axis, step.Test)
+	if err != nil {
+		return nil, err
+	}
+	// Predicates: switch back to tree traversal, per eXist (§II). The
+	// join algebra only covers the axis/nodetest part of a step.
+	for _, pred := range step.Predicates {
+		kept := cand[:0:0]
+		for i, n := range cand {
+			ok, err := e.fallback.EvalPredicate(pred, n, i+1, len(cand))
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, n)
+			}
+		}
+		cand = kept
+	}
+	return cand, nil
+}
+
+// axisJoin computes the axis step with a structural join between the
+// current node set and the name index's candidate list.
+func (e *Engine) axisJoin(cur []*dom.Node, axis mass.Axis, test mass.NodeTest) ([]*dom.Node, error) {
+	switch axis {
+	case mass.AxisChild:
+		cand := e.candidates(test, xmldoc.KindElement)
+		if cand == nil {
+			// No indexed list for this test: scan children directly.
+			return e.scanChildren(cur, test), nil
+		}
+		inSet := make(map[*dom.Node]bool, len(cur))
+		for _, n := range cur {
+			inSet[n] = true
+		}
+		var out []*dom.Node
+		for _, c := range cand {
+			if c.Parent != nil && inSet[c.Parent] {
+				out = append(out, c)
+			}
+		}
+		return out, nil
+	case mass.AxisDescendant, mass.AxisDescendantOrSelf:
+		cand := e.candidates(test, xmldoc.KindElement)
+		if cand == nil {
+			return e.scanDescendants(cur, test, axis == mass.AxisDescendantOrSelf), nil
+		}
+		out := e.descendantJoin(cur, cand)
+		if axis == mass.AxisDescendantOrSelf {
+			var selves []*dom.Node
+			for _, n := range cur {
+				if matchNode(n, test) {
+					selves = append(selves, n)
+				}
+			}
+			out = orderedMerge(out, selves)
+		}
+		return out, nil
+	case mass.AxisParent:
+		seen := map[*dom.Node]bool{}
+		var out []*dom.Node
+		for _, n := range cur {
+			p := n.Parent
+			if p != nil && !seen[p] && matchNode(p, test) {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+		sortNodes(out)
+		return out, nil
+	case mass.AxisAncestor, mass.AxisAncestorOrSelf:
+		seen := map[*dom.Node]bool{}
+		var out []*dom.Node
+		for _, n := range cur {
+			start := n.Parent
+			if axis == mass.AxisAncestorOrSelf {
+				start = n
+			}
+			for p := start; p != nil; p = p.Parent {
+				if !seen[p] {
+					seen[p] = true
+					if matchNode(p, test) {
+						out = append(out, p)
+					}
+				}
+			}
+		}
+		sortNodes(out)
+		return out, nil
+	case mass.AxisSelf:
+		var out []*dom.Node
+		for _, n := range cur {
+			if matchNode(n, test) {
+				out = append(out, n)
+			}
+		}
+		return out, nil
+	case mass.AxisAttribute:
+		if test.Type == mass.TestName {
+			cand := e.attrs[test.Name]
+			inSet := make(map[*dom.Node]bool, len(cur))
+			for _, n := range cur {
+				inSet[n] = true
+			}
+			var out []*dom.Node
+			for _, a := range cand {
+				if inSet[a.Parent] {
+					out = append(out, a)
+				}
+			}
+			return out, nil
+		}
+		var out []*dom.Node
+		for _, n := range cur {
+			for _, a := range n.Attrs {
+				if a.Kind == xmldoc.KindAttribute && test.Matches(nodeView(a), xmldoc.KindAttribute) {
+					out = append(out, a)
+				}
+			}
+		}
+		return out, nil
+	default:
+		// following(-sibling), preceding(-sibling), namespace: outside
+		// the engine's join algebra, as the paper reports for eXist.
+		return nil, &ErrUnsupportedAxis{Axis: axis}
+	}
+}
+
+// candidates returns the inverted-list candidates for a test, or nil when
+// the test has no name list (wildcards, text(), node() ...).
+func (e *Engine) candidates(test mass.NodeTest, kind xmldoc.Kind) []*dom.Node {
+	if test.Type != mass.TestName {
+		return nil
+	}
+	if kind == xmldoc.KindAttribute {
+		return e.attrs[test.Name]
+	}
+	return e.names[test.Name]
+}
+
+// descendantJoin is the classic sorted structural join: both lists are in
+// document order; a stack of open intervals from `cur` decides containment
+// in O(|cur| + |cand|).
+func (e *Engine) descendantJoin(cur, cand []*dom.Node) []*dom.Node {
+	var out []*dom.Node
+	var stack []*dom.Node
+	ci := 0
+	for _, c := range cand {
+		// Pop intervals that end before this candidate starts.
+		for len(stack) > 0 && e.end[stack[len(stack)-1]] < c.Pos {
+			stack = stack[:len(stack)-1]
+		}
+		// Push intervals that start before this candidate.
+		for ci < len(cur) && cur[ci].Pos < c.Pos {
+			if e.end[cur[ci]] >= c.Pos {
+				stack = append(stack, cur[ci])
+			}
+			ci++
+		}
+		if len(stack) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (e *Engine) scanChildren(cur []*dom.Node, test mass.NodeTest) []*dom.Node {
+	var out []*dom.Node
+	for _, n := range cur {
+		for _, c := range n.Children {
+			if matchAny(c, test) {
+				out = append(out, c)
+			}
+		}
+	}
+	sortNodes(out)
+	return dedup(out)
+}
+
+func (e *Engine) scanDescendants(cur []*dom.Node, test mass.NodeTest, orSelf bool) []*dom.Node {
+	var out []*dom.Node
+	var walk func(n *dom.Node)
+	walk = func(n *dom.Node) {
+		for _, c := range n.Children {
+			if matchAny(c, test) {
+				out = append(out, c)
+			}
+			walk(c)
+		}
+	}
+	for _, n := range cur {
+		if orSelf && matchAny(n, test) {
+			out = append(out, n)
+		}
+		walk(n)
+	}
+	sortNodes(out)
+	return dedup(out)
+}
+
+func nodeView(n *dom.Node) xmldoc.Node {
+	return xmldoc.Node{Kind: n.Kind, Name: n.Name, Value: n.Value}
+}
+
+// matchNode matches element-principal tests.
+func matchNode(n *dom.Node, test mass.NodeTest) bool {
+	return test.Matches(nodeView(n), xmldoc.KindElement)
+}
+
+// matchAny matches element-principal tests but lets node()/text() accept
+// non-element child content.
+func matchAny(n *dom.Node, test mass.NodeTest) bool {
+	return test.Matches(nodeView(n), xmldoc.KindElement)
+}
+
+func sortNodes(ns []*dom.Node) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].Pos < ns[j].Pos })
+}
+
+func dedup(ns []*dom.Node) []*dom.Node {
+	out := ns[:0]
+	var prev *dom.Node
+	for _, n := range ns {
+		if n != prev {
+			out = append(out, n)
+		}
+		prev = n
+	}
+	return out
+}
+
+func orderedMerge(a, b []*dom.Node) []*dom.Node {
+	out := append(append([]*dom.Node{}, a...), b...)
+	sortNodes(out)
+	return dedup(out)
+}

@@ -1,0 +1,202 @@
+package pathjoin
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vamana/internal/baseline/dom"
+	"vamana/internal/xmark"
+)
+
+func oracleFor(t *testing.T, src string) *dom.Engine {
+	t.Helper()
+	doc, err := dom.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dom.New(doc, dom.Options{})
+}
+
+// TestDifferentialAgainstDOM cross-checks the join engine against the DOM
+// oracle on every axis it supports.
+func TestDifferentialAgainstDOM(t *testing.T) {
+	src := xmark.GenerateString(xmark.Config{Factor: 0.003, Seed: 31})
+	e, err := New(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := oracleFor(t, src)
+
+	queries := []string{
+		"//person",
+		"//person/address",
+		"//person/address/city",
+		"/site/people/person",
+		"//address/parent::person",
+		"//city/ancestor::person",
+		"//watch/ancestor-or-self::*",
+		"//person/@id",
+		"//person[address]",
+		"//person[address/province]",
+		"//province[text()='Vermont']/ancestor::person",
+		"//address[zipcode > 50]",
+		"//person[2]",
+		"//person/descendant-or-self::address",
+		"//name | //city",
+		"//person[name='Yung Flach']",
+	}
+	for _, q := range queries {
+		got, err := e.Eval(q)
+		if err != nil {
+			t.Errorf("pathjoin eval %q: %v", q, err)
+			continue
+		}
+		want, err := oracle.Eval(q)
+		if err != nil {
+			t.Fatalf("oracle eval %q: %v", q, err)
+		}
+		g, w := dom.Keys(got), dom.Keys(want)
+		if len(g) != len(w) {
+			t.Errorf("%q: pathjoin %d keys, oracle %d", q, len(g), len(w))
+			continue
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Errorf("%q: key %d differs: %s vs %s", q, i, g[i], w[i])
+				break
+			}
+		}
+	}
+}
+
+func TestUnsupportedAxes(t *testing.T) {
+	src := xmark.GenerateString(xmark.Config{Factor: 0.001, Seed: 32})
+	e, err := New(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"//itemref/following-sibling::price",
+		"//price/preceding-sibling::itemref",
+		"//name/following::city",
+		"//city/preceding::name",
+	} {
+		if _, err := e.Eval(q); err == nil {
+			t.Errorf("%q: expected unsupported-axis error", q)
+		} else {
+			var ua *ErrUnsupportedAxis
+			if !errors.As(err, &ua) {
+				t.Errorf("%q: error type %T", q, err)
+			}
+		}
+	}
+}
+
+func TestSizeLimit(t *testing.T) {
+	src := xmark.GenerateString(xmark.Config{Factor: 0.001, Seed: 33})
+	if _, err := New(src, Options{MaxDocumentBytes: 1000}); err == nil {
+		t.Fatal("expected size-limit error")
+	} else {
+		var tl *ErrTooLarge
+		if !errors.As(err, &tl) {
+			t.Fatalf("error type %T", err)
+		}
+	}
+	if _, err := New(src, Options{MaxDocumentBytes: len(src) + 1}); err != nil {
+		t.Fatalf("within limit: %v", err)
+	}
+}
+
+func TestStructuralJoinCorners(t *testing.T) {
+	// Nested same-name elements stress the interval stack.
+	src := `<r><a><a><b/><a><b/></a></a></a><b/><a><b/></a></r>`
+	e, err := New(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := oracleFor(t, src)
+	for _, q := range []string{"//a//b", "//a/b", "//a//a", "//a/a", "//b/ancestor::a"} {
+		got, err := e.Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := oracle.Eval(q)
+		if len(dom.Keys(got)) != len(dom.Keys(want)) {
+			t.Errorf("%q: %d vs %d", q, len(got), len(want))
+		}
+	}
+}
+
+// TestDifferentialRandomDocs stresses the structural joins on dense
+// random structures (nested repeated names) against the DOM oracle.
+func TestDifferentialRandomDocs(t *testing.T) {
+	build := func(seed int64) string {
+		// A deterministic deeply-nested same-name document.
+		var b strings.Builder
+		b.WriteString("<r>")
+		names := []string{"a", "b", "c"}
+		depth := 0
+		var stack []string
+		n := int(seed%3) + 250
+		for i := 0; i < n; i++ {
+			if depth > 0 && (i+int(seed))%3 == 0 {
+				b.WriteString("</" + stack[len(stack)-1] + ">")
+				stack = stack[:len(stack)-1]
+				depth--
+				continue
+			}
+			nm := names[(i*7+int(seed))%3]
+			b.WriteString("<" + nm + ">")
+			if (i+1)%4 == 0 {
+				b.WriteString("t")
+			}
+			if i%2 == 0 {
+				b.WriteString("</" + nm + ">")
+			} else {
+				stack = append(stack, nm)
+				depth++
+			}
+		}
+		for len(stack) > 0 {
+			b.WriteString("</" + stack[len(stack)-1] + ">")
+			stack = stack[:len(stack)-1]
+		}
+		b.WriteString("</r>")
+		return b.String()
+	}
+	queries := []string{
+		"//a", "//a//b", "//a/b", "//b/parent::a", "//c/ancestor::a",
+		"//a[b]", "//a/descendant-or-self::a", "//b[text()='t']",
+		"//a//a//a", "//b/ancestor-or-self::*",
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		src := build(seed)
+		e, err := New(src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := oracleFor(t, src)
+		for _, q := range queries {
+			got, err := e.Eval(q)
+			if err != nil {
+				t.Fatalf("seed %d %q: %v", seed, q, err)
+			}
+			want, err := oracle.Eval(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gk, wk := dom.Keys(got), dom.Keys(want)
+			if len(gk) != len(wk) {
+				t.Errorf("seed %d %q: pathjoin %d, oracle %d", seed, q, len(gk), len(wk))
+				continue
+			}
+			for i := range gk {
+				if gk[i] != wk[i] {
+					t.Errorf("seed %d %q: key %d differs", seed, q, i)
+					break
+				}
+			}
+		}
+	}
+}

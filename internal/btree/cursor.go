@@ -1,0 +1,169 @@
+package btree
+
+import (
+	"bytes"
+
+	"vamana/internal/pager"
+)
+
+// Cursor iterates leaf entries in key order. A cursor is positioned either
+// on an entry or past either end. Cursors observe a snapshot of the leaf
+// objects they traverse; mutating the tree invalidates outstanding cursors.
+type Cursor struct {
+	t     *Tree
+	leaf  *node
+	idx   int
+	valid bool
+	err   error
+}
+
+// Seek positions the cursor on the first entry with key >= target and
+// reports whether such an entry exists.
+func (c *Cursor) Seek(target []byte) bool {
+	c.valid, c.err = false, nil
+	n, err := c.t.load(c.t.root)
+	if err != nil {
+		c.err = err
+		return false
+	}
+	for !n.leaf {
+		if n, err = c.t.load(n.children[childIndex(n, target)]); err != nil {
+			c.err = err
+			return false
+		}
+	}
+	i, _ := leafIndex(n, target)
+	c.leaf, c.idx = n, i
+	return c.skipForward()
+}
+
+// SeekFirst positions the cursor on the smallest entry.
+func (c *Cursor) SeekFirst() bool {
+	c.valid, c.err = false, nil
+	n, err := c.t.load(c.t.root)
+	if err != nil {
+		c.err = err
+		return false
+	}
+	for !n.leaf {
+		if n, err = c.t.load(n.children[0]); err != nil {
+			c.err = err
+			return false
+		}
+	}
+	c.leaf, c.idx = n, 0
+	return c.skipForward()
+}
+
+// SeekLast positions the cursor on the largest entry.
+func (c *Cursor) SeekLast() bool {
+	c.valid, c.err = false, nil
+	n, err := c.t.load(c.t.root)
+	if err != nil {
+		c.err = err
+		return false
+	}
+	for !n.leaf {
+		if n, err = c.t.load(n.children[len(n.children)-1]); err != nil {
+			c.err = err
+			return false
+		}
+	}
+	c.leaf, c.idx = n, len(n.keys)-1
+	return c.skipBackward()
+}
+
+// SeekBefore positions the cursor on the last entry with key < target.
+func (c *Cursor) SeekBefore(target []byte) bool {
+	if !c.Seek(target) {
+		// Everything is < target (or tree empty): last entry, if any.
+		return c.SeekLast()
+	}
+	return c.Prev()
+}
+
+// Next advances to the following entry and reports whether one exists.
+func (c *Cursor) Next() bool {
+	if !c.valid {
+		return false
+	}
+	c.idx++
+	return c.skipForward()
+}
+
+// Prev steps to the preceding entry and reports whether one exists.
+func (c *Cursor) Prev() bool {
+	if !c.valid {
+		return false
+	}
+	c.idx--
+	return c.skipBackward()
+}
+
+// skipForward normalizes a position that may be past a leaf's end (or on an
+// empty leaf) by walking the sibling links forward.
+func (c *Cursor) skipForward() bool {
+	for c.idx >= len(c.leaf.keys) {
+		if c.leaf.next == pager.InvalidPage {
+			c.valid = false
+			return false
+		}
+		n, err := c.t.load(c.leaf.next)
+		if err != nil {
+			c.err, c.valid = err, false
+			return false
+		}
+		c.leaf, c.idx = n, 0
+	}
+	c.valid = true
+	return true
+}
+
+func (c *Cursor) skipBackward() bool {
+	for c.idx < 0 {
+		if c.leaf.prev == pager.InvalidPage {
+			c.valid = false
+			return false
+		}
+		n, err := c.t.load(c.leaf.prev)
+		if err != nil {
+			c.err, c.valid = err, false
+			return false
+		}
+		c.leaf, c.idx = n, len(n.keys)-1
+	}
+	c.valid = true
+	return true
+}
+
+// Valid reports whether the cursor is positioned on an entry.
+func (c *Cursor) Valid() bool { return c.valid }
+
+// Err returns the first I/O error the cursor encountered, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Key returns the current entry's key. The slice is owned by the tree; do
+// not modify it.
+func (c *Cursor) Key() []byte {
+	if !c.valid {
+		return nil
+	}
+	return c.leaf.keys[c.idx]
+}
+
+// Value returns the current entry's value (materializing overflow chains).
+func (c *Cursor) Value() ([]byte, error) {
+	if !c.valid {
+		return nil, nil
+	}
+	return c.t.readValue(c.leaf.vals[c.idx])
+}
+
+// InRange reports whether the cursor is valid and its key is < hi (hi nil
+// means unbounded). A convenience for half-open range scans.
+func (c *Cursor) InRange(hi []byte) bool {
+	return c.valid && (hi == nil || bytes.Compare(c.leaf.keys[c.idx], hi) < 0)
+}
+
+// NewCursor returns an unpositioned cursor; call one of the Seek methods.
+func (t *Tree) NewCursor() *Cursor { return &Cursor{t: t} }

@@ -1,0 +1,188 @@
+// Package core assembles VAMANA's components — the MASS store, the XPath
+// compiler, the cost estimator, the optimizer and the execution engine —
+// into the query engine of the paper's Fig. 2. The public API in the
+// repository root package wraps this engine.
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"vamana/internal/cost"
+	"vamana/internal/exec"
+	"vamana/internal/flex"
+	"vamana/internal/mass"
+	"vamana/internal/opt"
+	"vamana/internal/plan"
+	"vamana/internal/xpath"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Path is the page file backing the MASS store; empty runs fully in
+	// memory.
+	Path string
+	// CachePages bounds the index page cache for file-backed stores
+	// (see mass.Options.CachePages). 0 selects the default.
+	CachePages int
+}
+
+// Engine is a VAMANA instance: one MASS store plus the query pipeline.
+type Engine struct {
+	store *mass.Store
+}
+
+// Open creates or reopens an engine.
+func Open(opts Options) (*Engine, error) {
+	s, err := mass.Open(mass.Options{Path: opts.Path, CachePages: opts.CachePages})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{store: s}, nil
+}
+
+// Store exposes the underlying MASS store (used by the benchmark harness
+// and the CLI for statistics).
+func (e *Engine) Store() *mass.Store { return e.store }
+
+// Close flushes and releases the engine.
+func (e *Engine) Close() error { return e.store.Close() }
+
+// Load shreds and indexes an XML document under a unique name.
+func (e *Engine) Load(name string, r io.Reader) (mass.DocID, error) {
+	return e.store.LoadDocument(name, r)
+}
+
+// LoadString is Load from a string.
+func (e *Engine) LoadString(name, src string) (mass.DocID, error) {
+	return e.Load(name, strings.NewReader(src))
+}
+
+// Query is a compiled (and possibly optimized) XPath expression.
+type Query struct {
+	engine    *Engine
+	expr      string
+	plan      *plan.Plan
+	optimized bool
+	trace     []string
+}
+
+// Compile parses expr and builds the default (unoptimized) query plan —
+// "VQP" in the paper's experiments.
+func (e *Engine) Compile(expr string) (*Query, error) {
+	ast, err := xpath.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(ast)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{engine: e, expr: expr, plan: p}, nil
+}
+
+// CompileOptimized parses expr and runs the cost-driven optimizer against
+// doc's live statistics — "VQP-OPT".
+func (e *Engine) CompileOptimized(doc mass.DocID, expr string) (*Query, error) {
+	q, err := e.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	o := &opt.Optimizer{
+		Store: e.store,
+		Doc:   doc,
+		Trace: func(format string, args ...any) {
+			q.trace = append(q.trace, fmt.Sprintf(format, args...))
+		},
+	}
+	optPlan, err := o.Optimize(q.plan)
+	if err != nil {
+		return nil, err
+	}
+	q.plan = optPlan
+	q.optimized = true
+	return q, nil
+}
+
+// Expr returns the source expression.
+func (q *Query) Expr() string { return q.expr }
+
+// Optimized reports whether the cost-driven optimizer ran.
+func (q *Query) Optimized() bool { return q.optimized }
+
+// Plan exposes the physical plan (cost-annotated after optimization or
+// Estimate).
+func (q *Query) Plan() *plan.Plan { return q.plan }
+
+// Trace returns the optimizer's decision log.
+func (q *Query) Trace() []string { return q.trace }
+
+// Estimate annotates the plan with cost information for doc without
+// executing it.
+func (q *Query) Estimate(doc mass.DocID) error {
+	est := &cost.Estimator{Store: q.engine.store, Doc: doc}
+	return est.Estimate(q.plan)
+}
+
+// Explain renders the cost-annotated plan and ordered list for doc.
+func (q *Query) Explain(doc mass.DocID) (string, error) {
+	if err := q.Estimate(doc); err != nil {
+		return "", err
+	}
+	out := fmt.Sprintf("query: %s\noptimized: %v\n", q.expr, q.optimized)
+	out += opt.Explain(q.plan)
+	for _, line := range q.trace {
+		out += "rewrite: " + line + "\n"
+	}
+	return out, nil
+}
+
+// ExplainAnalyze estimates the plan, executes it to completion, and
+// renders estimated bounds next to actual per-operator tuple counts —
+// the empirical check that the cost model's OUT values really are upper
+// bounds.
+func (q *Query) ExplainAnalyze(doc mass.DocID) (string, error) {
+	if err := q.Estimate(doc); err != nil {
+		return "", err
+	}
+	it, err := q.Execute(doc)
+	if err != nil {
+		return "", err
+	}
+	results := 0
+	for it.Next() {
+		results++
+	}
+	if err := it.Err(); err != nil {
+		return "", err
+	}
+	out := fmt.Sprintf("query: %s\noptimized: %v\nresults: %d\n", q.expr, q.optimized, results)
+	out += q.plan.String()
+	out += "actual tuple counts (context path and predicate steps):\n"
+	for _, st := range it.Stats() {
+		c := st.Op.Cost
+		out += fmt.Sprintf("  %-40s IN=%d/%d  scanned=%d  OUT=%d/%d\n",
+			st.Op.Label(), st.In, c.In, st.Scanned, st.Out, c.Out)
+	}
+	return out, nil
+}
+
+// Execute runs the query against doc with the document root as initial
+// context.
+func (q *Query) Execute(doc mass.DocID) (*exec.Iterator, error) {
+	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc})
+}
+
+// ExecuteOrdered runs the query and delivers the result set in document
+// order (materializing it first; use Execute for pipelined delivery).
+func (q *Query) ExecuteOrdered(doc mass.DocID) (*exec.Iterator, error) {
+	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Ordered: true})
+}
+
+// ExecuteFrom runs the query with an explicit initial context node — the
+// XQuery-style context feeding of paper §V-A — and optional variable
+// bindings.
+func (q *Query) ExecuteFrom(doc mass.DocID, start flex.Key, vars map[string][]flex.Key) (*exec.Iterator, error) {
+	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Start: start, Vars: vars})
+}

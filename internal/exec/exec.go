@@ -1,0 +1,560 @@
+// Package exec is VAMANA's query execution engine (paper §VII): an
+// iterative, pipelined, index-based evaluator over physical plans. Each
+// operator is a demand-driven iterator in one of three states — INITIAL,
+// FETCHING, OUT_OF_TUPLES — whose context is set dynamically from the
+// tuples of its context child (Algorithms 1 and 2). Tuples are FLEX keys;
+// nodes are materialized from storage only when actually needed.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"vamana/internal/flex"
+	"vamana/internal/mass"
+	"vamana/internal/plan"
+	"vamana/internal/xmldoc"
+	"vamana/internal/xpath"
+)
+
+// Context is the execution environment of one query run.
+type Context struct {
+	Store *mass.Store
+	Doc   mass.DocID
+	// Start is the initial context node bound to the leaf operators of
+	// the plan's context path; the engine uses the document root when
+	// empty (paper §V-B). An XQuery-style caller may bind any node.
+	Start flex.Key
+	// Vars binds $name variable references to node sets.
+	Vars map[string][]flex.Key
+	// Ordered materializes the result set and delivers it in document
+	// order. Pipelined delivery (the default) streams results in plan
+	// order, which for reverse axes is not document order; most engines
+	// (and the XPath data model's node-set semantics) leave this
+	// implementation-defined, so ordering is opt-in.
+	Ordered bool
+}
+
+// State is an operator's execution state (paper §VII).
+type State uint8
+
+const (
+	// Initial: the operator has not yet been asked for a tuple.
+	Initial State = iota
+	// Fetching: the operator is producing tuples.
+	Fetching
+	// OutOfTuples: the operator (and its context child) is exhausted.
+	OutOfTuples
+)
+
+// String returns the paper's spelling of the state.
+func (s State) String() string {
+	switch s {
+	case Initial:
+		return "INITIAL"
+	case Fetching:
+		return "FETCHING"
+	default:
+		return "OUT_OF_TUPLES"
+	}
+}
+
+// Iterator streams a query's resulting tuples.
+type Iterator struct {
+	env  *env
+	root execNode
+	cur  flex.Key
+	err  error
+	done bool
+}
+
+// Run builds an executable pipeline for p and returns its iterator.
+func Run(p *plan.Plan, ctx Context) (*Iterator, error) {
+	if ctx.Store == nil {
+		return nil, fmt.Errorf("exec: nil store")
+	}
+	start := ctx.Start
+	if start == "" {
+		start = flex.Root
+	}
+	e := &env{store: ctx.Store, doc: ctx.Doc, start: start, vars: ctx.Vars, building: true}
+	root, err := e.build(p.Root)
+	e.building = false
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Ordered {
+		root = &orderedExec{child: root}
+	}
+	root.reset(start)
+	return &Iterator{env: e, root: root}, nil
+}
+
+// orderedExec drains its child and re-delivers the tuples sorted by FLEX
+// key (= document order).
+type orderedExec struct {
+	child  execNode
+	out    []flex.Key
+	i      int
+	filled bool
+}
+
+func (o *orderedExec) reset(ctx flex.Key) {
+	o.child.reset(ctx)
+	o.out, o.i, o.filled = nil, 0, false
+}
+
+func (o *orderedExec) next() (flex.Key, bool, error) {
+	if !o.filled {
+		for {
+			k, ok, err := o.child.next()
+			if err != nil {
+				return "", false, err
+			}
+			if !ok {
+				break
+			}
+			o.out = append(o.out, k)
+		}
+		sort.Slice(o.out, func(i, j int) bool { return o.out[i] < o.out[j] })
+		o.filled = true
+	}
+	if o.i >= len(o.out) {
+		return "", false, nil
+	}
+	k := o.out[o.i]
+	o.i++
+	return k, true, nil
+}
+
+// Next advances to the next result tuple.
+func (it *Iterator) Next() bool {
+	if it.done {
+		return false
+	}
+	k, ok, err := it.root.next()
+	if err != nil {
+		it.err = err
+		it.done = true
+		return false
+	}
+	if !ok {
+		it.done = true
+		return false
+	}
+	it.cur = k
+	return true
+}
+
+// Key returns the FLEX key of the current tuple.
+func (it *Iterator) Key() flex.Key { return it.cur }
+
+// Node materializes the current tuple's node from storage.
+func (it *Iterator) Node() (xmldoc.Node, error) {
+	n, ok, err := it.env.store.Node(it.env.doc, it.cur)
+	if err != nil {
+		return xmldoc.Node{}, err
+	}
+	if !ok {
+		return xmldoc.Node{}, fmt.Errorf("exec: tuple %q has no stored node", it.cur)
+	}
+	return n, nil
+}
+
+// Err reports the first error encountered.
+func (it *Iterator) Err() error { return it.err }
+
+// Collect drains the iterator into a key slice.
+func (it *Iterator) Collect() ([]flex.Key, error) {
+	var out []flex.Key
+	for it.Next() {
+		out = append(out, it.Key())
+	}
+	return out, it.Err()
+}
+
+// env carries shared execution state.
+type env struct {
+	store *mass.Store
+	doc   mass.DocID
+	start flex.Key
+	vars  map[string][]flex.Key
+	// steps registers every step operator's executor so Iterator.Stats
+	// can read back actual tuple counts after a run. Registration only
+	// happens while the initial pipeline is being built (building=true);
+	// subplans constructed later by the expression evaluator are
+	// transient and unregistered.
+	steps    []*stepExec
+	building bool
+}
+
+// OpStats reports one step operator's actual execution counters.
+type OpStats struct {
+	Op      *plan.Step
+	In      uint64 // context tuples bound (actual IN)
+	Scanned uint64 // index entries examined
+	Out     uint64 // tuples emitted (actual OUT)
+}
+
+// Stats returns per-step actual tuple counts accumulated so far —
+// meaningful after the iterator is drained. Together with the estimator's
+// annotations this is EXPLAIN ANALYZE: estimated upper bounds next to
+// observed cardinalities.
+func (it *Iterator) Stats() []OpStats {
+	out := make([]OpStats, 0, len(it.env.steps))
+	for _, s := range it.env.steps {
+		in := s.nIn
+		if s.child == nil {
+			// For leaf operators the paper defines IN as the tuples
+			// received from the index (Case 1), not contexts bound.
+			in = s.nScanned
+		}
+		out = append(out, OpStats{Op: s.op, In: in, Scanned: s.nScanned, Out: s.nOut})
+	}
+	return out
+}
+
+// execNode is a pipelined operator instance. reset rebinds the context of
+// the subtree's leaf operators and rewinds all state to INITIAL.
+type execNode interface {
+	reset(ctx flex.Key)
+	next() (flex.Key, bool, error)
+}
+
+// build constructs the executable mirror of a plan operator.
+func (e *env) build(op plan.Op) (execNode, error) {
+	switch t := op.(type) {
+	case *plan.Root:
+		child, err := e.build(t.Context)
+		if err != nil {
+			return nil, err
+		}
+		return &rootExec{child: child, distinct: t.Distinct}, nil
+	case *plan.Step:
+		se := &stepExec{env: e, op: t}
+		if e.building {
+			e.steps = append(e.steps, se)
+		}
+		if t.Context != nil {
+			child, err := e.build(t.Context)
+			if err != nil {
+				return nil, err
+			}
+			se.child = child
+		}
+		for _, p := range t.Preds {
+			pe, err := e.buildPred(p)
+			if err != nil {
+				return nil, err
+			}
+			se.preds = append(se.preds, pe)
+			if usesLast(p) {
+				se.needLast = true
+			}
+		}
+		return se, nil
+	case *plan.Join:
+		l, err := e.build(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.build(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		if t.Cond != plan.JoinUnion {
+			return nil, fmt.Errorf("exec: unsupported join condition %v", t.Cond)
+		}
+		return &unionExec{left: l, right: r}, nil
+	default:
+		return nil, fmt.Errorf("exec: operator %T cannot produce a tuple stream", op)
+	}
+}
+
+// rootExec implements R: it forwards every tuple of its context child,
+// optionally eliminating duplicates (a streaming hash set — the node-set
+// semantics the paper's Q2 rewrite relies on).
+type rootExec struct {
+	child    execNode
+	distinct bool
+	seen     map[flex.Key]struct{}
+	state    State
+}
+
+func (r *rootExec) reset(ctx flex.Key) {
+	r.child.reset(ctx)
+	r.seen = nil
+	r.state = Initial
+}
+
+func (r *rootExec) next() (flex.Key, bool, error) {
+	if r.state == OutOfTuples {
+		return "", false, nil
+	}
+	r.state = Fetching
+	for {
+		k, ok, err := r.child.next()
+		if err != nil || !ok {
+			r.state = OutOfTuples
+			return "", false, err
+		}
+		if r.distinct {
+			if r.seen == nil {
+				r.seen = make(map[flex.Key]struct{})
+			}
+			if _, dup := r.seen[k]; dup {
+				continue
+			}
+			r.seen[k] = struct{}{}
+		}
+		return k, true, nil
+	}
+}
+
+// stepExec implements φ per Algorithm 1. A leaf (no context child) scans
+// the index from its dynamically-bound context; a non-leaf opens one scan
+// per context tuple (Algorithm 2, GetNextContext).
+type stepExec struct {
+	env      *env
+	op       *plan.Step
+	child    execNode
+	preds    []predEval
+	needLast bool
+
+	// Actual tuple counters, read back by Iterator.Stats (the ANALYZE
+	// half of EXPLAIN ANALYZE): contexts bound, candidates scanned,
+	// tuples emitted.
+	nIn, nScanned, nOut uint64
+
+	state   State
+	leafCtx flex.Key
+	scan    *mass.Scan
+	// Streaming predicate positions: posCounts[j] counts candidates that
+	// passed predicates 0..j-1 for the current context (XPath proximity
+	// position).
+	posCounts []int
+	// Batch mode (only when a predicate uses last()): candidates for the
+	// current context are materialized and filtered in one pass.
+	batch []flex.Key
+	bi    int
+}
+
+func (s *stepExec) reset(ctx flex.Key) {
+	s.state = Initial
+	s.leafCtx = ctx
+	s.scan = nil
+	s.batch = nil
+	s.bi = 0
+	if s.child != nil {
+		s.child.reset(ctx)
+	}
+}
+
+func (s *stepExec) next() (flex.Key, bool, error) {
+	for s.state != OutOfTuples {
+		if s.scan == nil {
+			// INITIAL, or the previous context's scan is exhausted: bind
+			// the next context (Algorithm 2).
+			var ctx flex.Key
+			if s.child == nil {
+				if s.state != Initial {
+					s.state = OutOfTuples
+					return "", false, nil
+				}
+				ctx = s.leafCtx
+			} else {
+				k, ok, err := s.child.next()
+				if err != nil {
+					return "", false, err
+				}
+				if !ok {
+					s.state = OutOfTuples
+					return "", false, nil
+				}
+				ctx = k
+			}
+			s.nIn++
+			s.state = Fetching
+			if s.op.Axis == mass.AxisNumRange {
+				s.scan = s.env.store.NumericRangeScan(s.env.doc, ctx,
+					s.op.NumLo, s.op.NumLoIncl, s.op.NumHi, s.op.NumHiIncl)
+			} else {
+				s.scan = s.env.store.AxisScan(s.env.doc, ctx, s.op.Axis, s.op.Test)
+			}
+			s.posCounts = make([]int, len(s.preds))
+			if s.needLast {
+				if err := s.fillBatch(); err != nil {
+					return "", false, err
+				}
+			}
+		}
+		if s.needLast {
+			if s.bi < len(s.batch) {
+				k := s.batch[s.bi]
+				s.bi++
+				s.nOut++
+				return k, true, nil
+			}
+			s.scan = nil
+			continue
+		}
+		n, ok := s.scan.Next()
+		if !ok {
+			if err := s.scan.Err(); err != nil {
+				return "", false, err
+			}
+			s.scan = nil
+			continue
+		}
+		s.nScanned++
+		pass, err := s.applyPreds(n.Key)
+		if err != nil {
+			return "", false, err
+		}
+		if pass {
+			s.nOut++
+			return n.Key, true, nil
+		}
+	}
+	return "", false, nil
+}
+
+// applyPreds evaluates the step's predicates in order against candidate,
+// maintaining per-predicate proximity positions.
+func (s *stepExec) applyPreds(k flex.Key) (bool, error) {
+	for j, p := range s.preds {
+		s.posCounts[j]++
+		ok, err := p.eval(k, s.posCounts[j], -1)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// fillBatch materializes and filters the current scan when a predicate
+// needs last().
+func (s *stepExec) fillBatch() error {
+	var cand []flex.Key
+	for {
+		n, ok := s.scan.Next()
+		if !ok {
+			break
+		}
+		s.nScanned++
+		cand = append(cand, n.Key)
+	}
+	if err := s.scan.Err(); err != nil {
+		return err
+	}
+	for j, p := range s.preds {
+		var kept []flex.Key
+		total := len(cand)
+		for i, k := range cand {
+			ok, err := p.eval(k, i+1, total)
+			if err != nil {
+				return err
+			}
+			if ok {
+				kept = append(kept, k)
+			}
+		}
+		cand = kept
+		_ = j
+	}
+	s.batch = cand
+	s.bi = 0
+	return nil
+}
+
+// unionExec implements J(UNION): both inputs are drained, deduplicated and
+// delivered in document order (the node-set semantics of '|').
+type unionExec struct {
+	left, right execNode
+	out         []flex.Key
+	i           int
+	filled      bool
+}
+
+func (u *unionExec) reset(ctx flex.Key) {
+	u.left.reset(ctx)
+	u.right.reset(ctx)
+	u.out = nil
+	u.i = 0
+	u.filled = false
+}
+
+func (u *unionExec) next() (flex.Key, bool, error) {
+	if !u.filled {
+		seen := map[flex.Key]struct{}{}
+		for _, side := range []execNode{u.left, u.right} {
+			for {
+				k, ok, err := side.next()
+				if err != nil {
+					return "", false, err
+				}
+				if !ok {
+					break
+				}
+				if _, dup := seen[k]; !dup {
+					seen[k] = struct{}{}
+					u.out = append(u.out, k)
+				}
+			}
+		}
+		sort.Slice(u.out, func(i, j int) bool { return u.out[i] < u.out[j] })
+		u.filled = true
+	}
+	if u.i >= len(u.out) {
+		return "", false, nil
+	}
+	k := u.out[u.i]
+	u.i++
+	return k, true, nil
+}
+
+// usesLast reports whether a predicate operator's expression calls last()
+// anywhere (forcing batch evaluation of the owning step).
+func usesLast(op plan.Op) bool {
+	ep, ok := op.(*plan.ExprPred)
+	if !ok {
+		return false
+	}
+	return exprUsesLast(ep.Expr)
+}
+
+func exprUsesLast(e xpath.Expr) bool {
+	switch t := e.(type) {
+	case *xpath.FuncCall:
+		if t.Name == "last" {
+			return true
+		}
+		for _, a := range t.Args {
+			if exprUsesLast(a) {
+				return true
+			}
+		}
+	case *xpath.Binary:
+		return exprUsesLast(t.Left) || exprUsesLast(t.Right)
+	case *xpath.Unary:
+		return exprUsesLast(t.Operand)
+	case *xpath.Filter:
+		if exprUsesLast(t.Primary) {
+			return true
+		}
+		for _, p := range t.Predicates {
+			if exprUsesLast(p) {
+				return true
+			}
+		}
+	case *xpath.LocationPath:
+		for _, s := range t.Steps {
+			for _, p := range s.Predicates {
+				if exprUsesLast(p) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,233 @@
+package mass
+
+import (
+	"fmt"
+
+	"vamana/internal/xmldoc"
+)
+
+// Axis identifies one of the 13 XPath axes, plus VAMANA's value:: pseudo
+// axis introduced by the optimizer's value-index rewrite (paper §VI-C.2).
+type Axis uint8
+
+const (
+	AxisChild Axis = iota
+	AxisDescendant
+	AxisDescendantOrSelf
+	AxisParent
+	AxisAncestor
+	AxisAncestorOrSelf
+	AxisFollowing
+	AxisFollowingSibling
+	AxisPreceding
+	AxisPrecedingSibling
+	AxisSelf
+	AxisAttribute
+	AxisNamespace
+	// AxisValue is VAMANA's internal pseudo axis: "value::'literal'" scans
+	// the value index for nodes whose string value equals the literal,
+	// within the context subtree. It is how value-based queries are
+	// "translated into a location step" (paper §VI-C.2).
+	AxisValue
+	// AxisAttrValue is the attribute-flavored value pseudo axis: it scans
+	// the value index for attribute nodes whose value equals the literal
+	// (NodeTest.Name), optionally restricted to one attribute name
+	// (NodeTest.Attr). An extension beyond the paper's text() rewrite,
+	// enabled by the same one-probe value index.
+	AxisAttrValue
+	// AxisNumRange is the numeric-range pseudo axis: it scans the numeric
+	// value index for text nodes whose number() lies in a range. The range
+	// bounds live on the plan step (plan.Step.Num*), not in the node test;
+	// the execution engine dispatches this axis to
+	// Store.NumericRangeScan directly.
+	AxisNumRange
+)
+
+var axisNames = [...]string{
+	AxisChild:            "child",
+	AxisDescendant:       "descendant",
+	AxisDescendantOrSelf: "descendant-or-self",
+	AxisParent:           "parent",
+	AxisAncestor:         "ancestor",
+	AxisAncestorOrSelf:   "ancestor-or-self",
+	AxisFollowing:        "following",
+	AxisFollowingSibling: "following-sibling",
+	AxisPreceding:        "preceding",
+	AxisPrecedingSibling: "preceding-sibling",
+	AxisSelf:             "self",
+	AxisAttribute:        "attribute",
+	AxisNamespace:        "namespace",
+	AxisValue:            "value",
+	AxisAttrValue:        "attr-value",
+	AxisNumRange:         "num-range",
+}
+
+// String returns the XPath spelling of the axis.
+func (a Axis) String() string {
+	if int(a) < len(axisNames) {
+		return axisNames[a]
+	}
+	return fmt.Sprintf("axis(%d)", uint8(a))
+}
+
+// ParseAxis resolves an XPath axis name.
+func ParseAxis(s string) (Axis, bool) {
+	for a, n := range axisNames {
+		if n == s {
+			return Axis(a), true
+		}
+	}
+	return 0, false
+}
+
+// Reverse reports whether the axis is a reverse axis (nodes are delivered
+// in reverse document order, per XPath 1.0 §2.4).
+func (a Axis) Reverse() bool {
+	switch a {
+	case AxisAncestor, AxisAncestorOrSelf, AxisPreceding, AxisPrecedingSibling, AxisParent:
+		return true
+	}
+	return false
+}
+
+// Principal returns the axis's principal node kind (XPath 1.0 §2.3): a
+// name or wildcard test selects nodes of this kind.
+func (a Axis) Principal() xmldoc.Kind {
+	switch a {
+	case AxisAttribute, AxisAttrValue:
+		return xmldoc.KindAttribute
+	case AxisNamespace:
+		return xmldoc.KindNamespace
+	default:
+		return xmldoc.KindElement
+	}
+}
+
+// TestType classifies an XPath node test.
+type TestType uint8
+
+const (
+	// TestName matches principal-kind nodes with a specific name.
+	TestName TestType = iota
+	// TestWildcard ("*") matches every principal-kind node.
+	TestWildcard
+	// TestText ("text()") matches text nodes.
+	TestText
+	// TestNode ("node()") matches every node on the axis.
+	TestNode
+	// TestComment ("comment()") matches comment nodes.
+	TestComment
+	// TestPI ("processing-instruction()") matches PI nodes, optionally
+	// with a specific target name.
+	TestPI
+)
+
+// NodeTest is the node-test part of a location step.
+type NodeTest struct {
+	Type TestType
+	Name string // for TestName and optionally TestPI; the literal for value axes
+	// Attr restricts the attr-value pseudo axis to attributes with this
+	// name; empty matches any attribute name.
+	Attr string
+}
+
+// String returns the XPath spelling of the node test.
+func (t NodeTest) String() string {
+	switch t.Type {
+	case TestName:
+		return t.Name
+	case TestWildcard:
+		return "*"
+	case TestText:
+		return "text()"
+	case TestNode:
+		return "node()"
+	case TestComment:
+		return "comment()"
+	case TestPI:
+		if t.Name != "" {
+			return fmt.Sprintf("processing-instruction(%q)", t.Name)
+		}
+		return "processing-instruction()"
+	default:
+		return fmt.Sprintf("test(%d)", uint8(t.Type))
+	}
+}
+
+// Matches reports whether node n satisfies the test on an axis whose
+// principal node kind is principal.
+func (t NodeTest) Matches(n xmldoc.Node, principal xmldoc.Kind) bool {
+	switch t.Type {
+	case TestName:
+		return n.Kind == principal && n.Name == t.Name
+	case TestWildcard:
+		return n.Kind == principal
+	case TestText:
+		return n.Kind == xmldoc.KindText
+	case TestComment:
+		return n.Kind == xmldoc.KindComment
+	case TestPI:
+		return n.Kind == xmldoc.KindPI && (t.Name == "" || n.Name == t.Name)
+	case TestNode:
+		// node() matches everything reachable on the axis. Attribute and
+		// namespace nodes are reachable only on their own axes, which is
+		// enforced by the axis scans, not here.
+		return true
+	default:
+		return false
+	}
+}
+
+// Scan iterates the nodes selected by an axis step, lazily, in axis order
+// (document order for forward axes, reverse document order for reverse
+// axes). It is the unit of MASS's pipelined, index-based access.
+type Scan struct {
+	next func() (xmldoc.Node, bool, error)
+	err  error
+	done bool
+}
+
+// Next returns the next node, or ok == false when the scan is exhausted or
+// failed (check Err).
+func (s *Scan) Next() (xmldoc.Node, bool) {
+	if s.done {
+		return xmldoc.Node{}, false
+	}
+	n, ok, err := s.next()
+	if err != nil {
+		s.err = err
+		s.done = true
+		return xmldoc.Node{}, false
+	}
+	if !ok {
+		s.done = true
+		return xmldoc.Node{}, false
+	}
+	return n, true
+}
+
+// Err returns the first error the scan encountered.
+func (s *Scan) Err() error { return s.err }
+
+// emptyScan yields nothing.
+func emptyScan() *Scan {
+	return &Scan{next: func() (xmldoc.Node, bool, error) { return xmldoc.Node{}, false, nil }}
+}
+
+// errScan yields an immediate error.
+func errScan(err error) *Scan {
+	return &Scan{next: func() (xmldoc.Node, bool, error) { return xmldoc.Node{}, false, err }}
+}
+
+// sliceScan yields a fixed slice (used by the small reverse axes).
+func sliceScan(nodes []xmldoc.Node) *Scan {
+	i := 0
+	return &Scan{next: func() (xmldoc.Node, bool, error) {
+		if i >= len(nodes) {
+			return xmldoc.Node{}, false, nil
+		}
+		n := nodes[i]
+		i++
+		return n, true, nil
+	}}
+}

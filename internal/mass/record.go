@@ -1,0 +1,40 @@
+package mass
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vamana/internal/xmldoc"
+)
+
+// encodeRecord serializes a node for the clustered index. The FLEX key is
+// not stored — it is the index key. Layout:
+//
+//	[kind 1][uvarint name length][name bytes][value bytes ...]
+func encodeRecord(n xmldoc.Node) []byte {
+	out := make([]byte, 0, 1+binary.MaxVarintLen32+len(n.Name)+len(n.Value))
+	out = append(out, byte(n.Kind))
+	var lenBuf [binary.MaxVarintLen32]byte
+	w := binary.PutUvarint(lenBuf[:], uint64(len(n.Name)))
+	out = append(out, lenBuf[:w]...)
+	out = append(out, n.Name...)
+	out = append(out, n.Value...)
+	return out
+}
+
+// decodeRecord parses a clustered-index record.
+func decodeRecord(b []byte) (xmldoc.Node, error) {
+	if len(b) < 2 {
+		return xmldoc.Node{}, fmt.Errorf("mass: record too short (%d bytes)", len(b))
+	}
+	var n xmldoc.Node
+	n.Kind = xmldoc.Kind(b[0])
+	nameLen, w := binary.Uvarint(b[1:])
+	if w <= 0 || 1+w+int(nameLen) > len(b) {
+		return xmldoc.Node{}, fmt.Errorf("mass: corrupt record")
+	}
+	off := 1 + w
+	n.Name = string(b[off : off+int(nameLen)])
+	n.Value = string(b[off+int(nameLen):])
+	return n, nil
+}

@@ -1,0 +1,450 @@
+// Package mass implements the Multi-Axis Storage Structure (MASS) that
+// VAMANA is built around (Deschler & Rundensteiner, CIKM 2003). MASS
+// stores shredded XML documents in a clustered index ordered by FLEX key
+// (= document order) plus secondary indexes over element names, attribute
+// names and node values. Together these provide:
+//
+//   - index-based access for every XPath axis from any context node,
+//   - value-based lookups in a single index probe, and
+//   - O(log n) counting of axis- and value-based node sets without
+//     fetching any data — the statistics feed for VAMANA's cost model.
+//
+// A Store is safe for concurrent use; operations are serialized
+// internally. Scans hold cursor state and must not span mutations of the
+// store (load/update/delete); interleaving scans of the same store with
+// each other is fine.
+package mass
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"vamana/internal/btree"
+	"vamana/internal/flex"
+	"vamana/internal/pager"
+	"vamana/internal/xmldoc"
+)
+
+// Store is a MASS database: a set of indexed XML documents.
+type Store struct {
+	mu sync.Mutex
+	pg *pager.Pager
+
+	catalog   *btree.Tree // persistent metadata: tree roots, document registry
+	clustered *btree.Tree // docID ++ flexKey -> node record
+	names     *btree.Tree // element name index
+	attrs     *btree.Tree // attribute name index
+	elems     *btree.Tree // docID ++ flexKey -> element name (wildcard scans/counts)
+	texts     *btree.Tree // docID ++ flexKey -> nil (text() scans/counts)
+	values    *btree.Tree // value index over text nodes and attribute values
+
+	docs    map[string]DocID
+	nextDoc DocID
+
+	// keyBuf is a scratch buffer for transient clustered-key lookups.
+	// Only valid under mu and only for keys not retained by the callee.
+	keyBuf []byte
+}
+
+// Options configures a Store.
+type Options struct {
+	// Path is the backing page file. Empty means an in-memory store.
+	Path string
+	// CachePages bounds the total deserialized index pages kept in
+	// memory for file-backed stores (spread across the six index trees).
+	// 0 means the default (~6K pages, about 50 MB of 8 KiB pages). Lower
+	// it for memory-constrained deployments; raise it for hot stores.
+	CachePages int
+}
+
+var errNoDoc = errors.New("mass: unknown document")
+
+// Open creates or reopens a store.
+func Open(opts Options) (*Store, error) {
+	var pg *pager.Pager
+	var err error
+	if opts.Path == "" {
+		pg = pager.NewMemory()
+	} else {
+		pg, err = pager.Open(opts.Path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &Store{pg: pg, docs: make(map[string]DocID), nextDoc: 1}
+	meta := pg.UserMeta()
+	catalogRoot := pager.PageID(binary.LittleEndian.Uint32(meta[:4]))
+	if catalogRoot == pager.InvalidPage {
+		if err := s.initTrees(); err != nil {
+			pg.Close()
+			return nil, err
+		}
+		s.applyCacheBudget(opts.CachePages)
+		return s, nil
+	}
+	if err := s.loadCatalog(catalogRoot); err != nil {
+		pg.Close()
+		return nil, err
+	}
+	s.applyCacheBudget(opts.CachePages)
+	return s, nil
+}
+
+// applyCacheBudget spreads the page-cache budget across the index trees.
+// The clustered index gets half (it sees most traffic); the rest share
+// the remainder.
+func (s *Store) applyCacheBudget(pages int) {
+	if pages <= 0 {
+		pages = 6144
+	}
+	s.clustered.SetMaxCache(pages / 2)
+	rest := pages / 2 / 5
+	for _, t := range []*btree.Tree{s.names, s.attrs, s.elems, s.texts, s.values} {
+		t.SetMaxCache(rest)
+	}
+	s.catalog.SetMaxCache(16)
+}
+
+func (s *Store) initTrees() error {
+	var err error
+	newTree := func() *btree.Tree {
+		if err != nil {
+			return nil
+		}
+		var t *btree.Tree
+		t, err = btree.New(s.pg)
+		return t
+	}
+	s.catalog = newTree()
+	s.clustered = newTree()
+	s.names = newTree()
+	s.attrs = newTree()
+	s.elems = newTree()
+	s.texts = newTree()
+	s.values = newTree()
+	return err
+}
+
+// catalog key prefixes.
+const (
+	catTree = "T" // catTree + name -> root page id (u32)
+	catDoc  = "D" // catDoc + docName -> docID (u32)
+	catSeq  = "S" // next document id (u32)
+)
+
+func (s *Store) treeNames() map[string]**btree.Tree {
+	return map[string]**btree.Tree{
+		"clustered": &s.clustered,
+		"names":     &s.names,
+		"attrs":     &s.attrs,
+		"elems":     &s.elems,
+		"texts":     &s.texts,
+		"values":    &s.values,
+	}
+}
+
+func (s *Store) loadCatalog(root pager.PageID) error {
+	var err error
+	s.catalog, err = btree.Load(s.pg, root)
+	if err != nil {
+		return fmt.Errorf("mass: load catalog: %w", err)
+	}
+	for name, slot := range s.treeNames() {
+		v, ok, err := s.catalog.Get([]byte(catTree + name))
+		if err != nil {
+			return err
+		}
+		if !ok || len(v) != 4 {
+			return fmt.Errorf("mass: catalog missing tree %q", name)
+		}
+		t, err := btree.Load(s.pg, pager.PageID(binary.LittleEndian.Uint32(v)))
+		if err != nil {
+			return fmt.Errorf("mass: load tree %q: %w", name, err)
+		}
+		*slot = t
+	}
+	if v, ok, err := s.catalog.Get([]byte(catSeq)); err != nil {
+		return err
+	} else if ok && len(v) == 4 {
+		s.nextDoc = DocID(binary.LittleEndian.Uint32(v))
+	}
+	// Restore the document registry.
+	c := s.catalog.NewCursor()
+	for ok := c.Seek([]byte(catDoc)); ok && len(c.Key()) > 0 && c.Key()[0] == catDoc[0]; ok = c.Next() {
+		v, err := c.Value()
+		if err != nil {
+			return err
+		}
+		if len(v) == 4 {
+			s.docs[string(c.Key()[1:])] = DocID(binary.LittleEndian.Uint32(v))
+		}
+	}
+	return c.Err()
+}
+
+// Flush persists all index pages and the catalog.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	for name, slot := range s.treeNames() {
+		t := *slot
+		if err := t.Flush(); err != nil {
+			return err
+		}
+		var v [4]byte
+		binary.LittleEndian.PutUint32(v[:], uint32(t.Root()))
+		if _, err := s.catalog.Put([]byte(catTree+name), v[:]); err != nil {
+			return err
+		}
+	}
+	var seq [4]byte
+	binary.LittleEndian.PutUint32(seq[:], uint32(s.nextDoc))
+	if _, err := s.catalog.Put([]byte(catSeq), seq[:]); err != nil {
+		return err
+	}
+	if err := s.catalog.Flush(); err != nil {
+		return err
+	}
+	var meta [32]byte
+	binary.LittleEndian.PutUint32(meta[:4], uint32(s.catalog.Root()))
+	s.pg.SetUserMeta(meta)
+	return s.pg.Flush()
+}
+
+// Close flushes and releases the store.
+func (s *Store) Close() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return s.pg.Close()
+}
+
+// LoadDocument shreds the XML document from r and indexes it under the
+// given unique name, returning its DocID. Loading is streaming: memory use
+// is bounded by the index caches, not the document size.
+func (s *Store) LoadDocument(name string, r io.Reader) (DocID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.docs[name]; exists {
+		return 0, fmt.Errorf("mass: document %q already loaded", name)
+	}
+	d := s.nextDoc
+	s.nextDoc++
+	err := xmldoc.Parse(r, func(n xmldoc.Node) error { return s.indexNode(d, n) })
+	if err != nil {
+		// Loading failed midway; remove the partial document so the store
+		// stays consistent.
+		s.removeDocNodesLocked(d)
+		return 0, err
+	}
+	s.docs[name] = d
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], uint32(d))
+	if _, err := s.catalog.Put([]byte(catDoc+name), v[:]); err != nil {
+		return 0, err
+	}
+	return d, nil
+}
+
+// indexNode inserts one shredded node into every applicable index.
+func (s *Store) indexNode(d DocID, n xmldoc.Node) error {
+	if len(n.Name) > maxIndexedValue {
+		return fmt.Errorf("mass: name %q exceeds %d bytes", n.Name[:32]+"...", maxIndexedValue)
+	}
+	if _, err := s.clustered.Put(clusteredKey(d, n.Key), encodeRecord(n)); err != nil {
+		return err
+	}
+	switch n.Kind {
+	case xmldoc.KindElement:
+		if _, err := s.names.Put(nameKey(n.Name, d, n.Key), nil); err != nil {
+			return err
+		}
+		if _, err := s.elems.Put(docKey(d, n.Key), []byte(n.Name)); err != nil {
+			return err
+		}
+	case xmldoc.KindAttribute:
+		if _, err := s.attrs.Put(nameKey(n.Name, d, n.Key), nil); err != nil {
+			return err
+		}
+		if err := s.putValueEntry(valueTagAttr, d, n.Key, n.Value); err != nil {
+			return err
+		}
+	case xmldoc.KindText:
+		if _, err := s.texts.Put(docKey(d, n.Key), nil); err != nil {
+			return err
+		}
+		if err := s.putValueEntry(valueTagText, d, n.Key, n.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) putValueEntry(tag byte, d DocID, k flex.Key, v string) error {
+	_, trunc := indexedValue(v)
+	var flags []byte
+	if trunc {
+		flags = []byte{valueFlagTruncated}
+	}
+	if _, err := s.values.Put(valueKey(tag, v, d, k), flags); err != nil {
+		return err
+	}
+	kind := xmldoc.KindText
+	if tag == valueTagAttr {
+		kind = xmldoc.KindAttribute
+	}
+	return s.putNumericEntries(kind, d, k, v)
+}
+
+// removeDocNodesLocked deletes every index entry belonging to doc d. Used
+// for cleanup of failed loads and by DropDocument.
+func (s *Store) removeDocNodesLocked(d DocID) {
+	lo, hi := clusteredDocRange(d)
+	c := s.clustered.NewCursor()
+	// Collect first (cursors don't survive mutation), then delete.
+	type entry struct {
+		key  flex.Key
+		node xmldoc.Node
+	}
+	var all []entry
+	for ok := c.Seek(lo); ok && c.InRange(hi); ok = c.Next() {
+		_, fk := splitClusteredKey(c.Key())
+		v, err := c.Value()
+		if err != nil {
+			continue
+		}
+		n, err := decodeRecord(v)
+		if err != nil {
+			continue
+		}
+		n.Key = fk
+		all = append(all, entry{fk, n})
+	}
+	for _, e := range all {
+		s.deleteNodeIndexEntries(d, e.node)
+		s.clustered.Delete(clusteredKey(d, e.key))
+	}
+}
+
+func (s *Store) deleteNodeIndexEntries(d DocID, n xmldoc.Node) {
+	switch n.Kind {
+	case xmldoc.KindElement:
+		s.names.Delete(nameKey(n.Name, d, n.Key))
+		s.elems.Delete(docKey(d, n.Key))
+	case xmldoc.KindAttribute:
+		s.attrs.Delete(nameKey(n.Name, d, n.Key))
+		s.values.Delete(valueKey(valueTagAttr, n.Value, d, n.Key))
+		s.deleteNumericEntries(n.Kind, d, n.Key, n.Value)
+	case xmldoc.KindText:
+		s.texts.Delete(docKey(d, n.Key))
+		s.values.Delete(valueKey(valueTagText, n.Value, d, n.Key))
+		s.deleteNumericEntries(n.Kind, d, n.Key, n.Value)
+	}
+}
+
+// DocID resolves a document name.
+func (s *Store) DocID(name string) (DocID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.docs[name]
+	return d, ok
+}
+
+// Documents returns the loaded document names.
+func (s *Store) Documents() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.docs))
+	for n := range s.docs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// DropDocument removes a document and all its index entries.
+func (s *Store) DropDocument(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.docs[name]
+	if !ok {
+		return errNoDoc
+	}
+	s.removeDocNodesLocked(d)
+	delete(s.docs, name)
+	_, err := s.catalog.Delete([]byte(catDoc + name))
+	return err
+}
+
+// Node fetches the node stored under (d, k).
+func (s *Store) Node(d DocID, k flex.Key) (xmldoc.Node, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodeLocked(d, k)
+}
+
+func (s *Store) nodeLocked(d DocID, k flex.Key) (xmldoc.Node, bool, error) {
+	// Hot path: executed once per parent/self probe during pipelined
+	// execution. The scratch key and the zero-copy View avoid two
+	// allocations per probe.
+	s.keyBuf = s.keyBuf[:0]
+	var db [4]byte
+	binary.BigEndian.PutUint32(db[:], uint32(d))
+	s.keyBuf = append(append(s.keyBuf, db[:]...), k...)
+	var n xmldoc.Node
+	var decodeErr error
+	ok, err := s.clustered.View(s.keyBuf, func(v []byte) {
+		n, decodeErr = decodeRecord(v)
+	})
+	if err != nil || !ok {
+		return xmldoc.Node{}, ok, err
+	}
+	if decodeErr != nil {
+		return xmldoc.Node{}, false, decodeErr
+	}
+	n.Key = k
+	return n, true, nil
+}
+
+// StringValue computes the XPath string-value of the node at (d, k): for
+// text/attribute/comment/PI nodes their content; for element and document
+// nodes the concatenation of all descendant text nodes in document order.
+func (s *Store) StringValue(d DocID, k flex.Key) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok, err := s.nodeLocked(d, k)
+	if err != nil {
+		return "", err
+	}
+	if !ok {
+		return "", fmt.Errorf("mass: no node at %q", k)
+	}
+	switch n.Kind {
+	case xmldoc.KindElement, xmldoc.KindDocument:
+		var out []byte
+		lo, hi := docKeyRange(d, k.DescLower(), k.SubtreeUpper())
+		c := s.texts.NewCursor()
+		for ok := c.Seek(lo); ok && c.InRange(hi); ok = c.Next() {
+			_, fk := splitClusteredKey(c.Key())
+			tn, ok2, err := s.nodeLocked(d, fk)
+			if err != nil {
+				return "", err
+			}
+			if ok2 {
+				out = append(out, tn.Value...)
+			}
+		}
+		if err := c.Err(); err != nil {
+			return "", err
+		}
+		return string(out), nil
+	default:
+		return n.Value, nil
+	}
+}

@@ -1,0 +1,116 @@
+package opt
+
+import (
+	"vamana/internal/mass"
+	"vamana/internal/plan"
+	"vamana/internal/xmldoc"
+)
+
+// Cleanup is the optimizer's first phase (paper §VI-A): a cost-free
+// normalization pass applied before each costing round. It:
+//
+//   - removes no-op self::node() steps ("." with no predicates),
+//   - collapses the descendant-or-self::node() steps introduced by the
+//     abbreviated // syntax into the following step's axis, and
+//   - merges self-axis steps into their context child, the paper's
+//     Fig. 5 example: parent::* / self::person  =>  parent::person.
+//
+// All rewrites are applied recursively, inside predicate subplans too, and
+// iterate to a fixpoint.
+func Cleanup(p *plan.Plan) {
+	p.Root.Context = cleanupOp(p.Root.Context)
+	p.AssignIDs()
+}
+
+func cleanupOp(op plan.Op) plan.Op {
+	switch t := op.(type) {
+	case *plan.Step:
+		return cleanupStep(t)
+	case *plan.Exist:
+		t.Pred = cleanupOp(t.Pred)
+		return t
+	case *plan.BinaryPred:
+		t.Left = cleanupOp(t.Left)
+		t.Right = cleanupOp(t.Right)
+		return t
+	case *plan.Join:
+		t.Left = cleanupOp(t.Left)
+		t.Right = cleanupOp(t.Right)
+		return t
+	default:
+		return op
+	}
+}
+
+func cleanupStep(s *plan.Step) plan.Op {
+	if s.Context != nil {
+		s.Context = cleanupOp(s.Context)
+	}
+	for i, p := range s.Preds {
+		s.Preds[i] = cleanupOp(p)
+	}
+
+	// self::node() with no predicates is the identity.
+	if s.Axis == mass.AxisSelf && s.Test.Type == mass.TestNode && len(s.Preds) == 0 && s.Context != nil {
+		return s.Context
+	}
+
+	// Collapse the // expansion: descendant-or-self::node() (no preds)
+	// followed by a downward step. Positional predicates on the downward
+	// step pin it to per-parent grouping (//x[2] != /descendant::x[2]),
+	// so they block the collapse.
+	if ctx, ok := s.Context.(*plan.Step); ok &&
+		ctx.Axis == mass.AxisDescendantOrSelf && ctx.Test.Type == mass.TestNode &&
+		len(ctx.Preds) == 0 && orderFree(s.Preds) {
+		switch s.Axis {
+		case mass.AxisChild, mass.AxisDescendant:
+			s.Axis = mass.AxisDescendant
+			s.Context = ctx.Context
+			return cleanupStep(s)
+		case mass.AxisDescendantOrSelf:
+			s.Context = ctx.Context
+			return cleanupStep(s)
+		}
+	}
+
+	// Merge a self step into its context child (paper Fig. 5). Safe only
+	// when the context step selects element-principal nodes, so the
+	// merged name test keeps meaning the same thing.
+	if s.Axis == mass.AxisSelf && s.Context != nil {
+		if ctx, ok := s.Context.(*plan.Step); ok && ctx.Axis.Principal() == xmldoc.KindElement && ctx.Axis != mass.AxisValue {
+			if merged, ok := mergeTests(ctx.Test, s.Test); ok {
+				ctx.Test = merged
+				ctx.Preds = append(ctx.Preds, s.Preds...)
+				return cleanupStep(ctx)
+			}
+		}
+	}
+	return s
+}
+
+// mergeTests intersects two node tests applied to the same element-
+// principal node, returning the combined test. It reports false when the
+// intersection is not expressible as a single test (or is empty).
+func mergeTests(t1, t2 mass.NodeTest) (mass.NodeTest, bool) {
+	elemish := func(t mass.NodeTest) bool {
+		return t.Type == mass.TestName || t.Type == mass.TestWildcard
+	}
+	switch {
+	case t2.Type == mass.TestNode:
+		// self::node() accepts everything the context step produced.
+		return t1, true
+	case t2.Type == mass.TestWildcard && elemish(t1):
+		return t1, true
+	case t2.Type == mass.TestWildcard && t1.Type == mass.TestNode:
+		// child::node()/self::*  =>  child::* .
+		return t2, true
+	case t2.Type == mass.TestName && (t1.Type == mass.TestWildcard || t1.Type == mass.TestNode):
+		return t2, true
+	case t1.Type == mass.TestName && t2.Type == mass.TestName && t1.Name == t2.Name:
+		return t1, true
+	default:
+		// Disjoint (e.g. text() vs. a name, or two different names): the
+		// result is empty; leaving the steps unmerged preserves that.
+		return mass.NodeTest{}, false
+	}
+}

@@ -1,0 +1,424 @@
+package opt
+
+import (
+	"math"
+
+	"vamana/internal/mass"
+	"vamana/internal/plan"
+)
+
+// The transformation library (paper §I contribution 3, §VI-C): equivalence
+// rules over the physical algebra, adapted from the XPath rewriting
+// literature [Olteanu et al., "XPath: Looking Forward"]. Each rule matches
+// a step on the plan's context path and produces an equivalent replacement
+// subtree; the optimizer accepts it only if the estimated work does not
+// increase.
+//
+// Safety notes common to several rules:
+//
+//   - Positional predicates (ε operators) pin a step to its delivery
+//     order, so rules that change that order require the moved or
+//     retained predicates to be order-free (ξ / β only).
+//   - Rules that re-anchor a step at the document root require the
+//     rewritten chain to start at the context-path leaf (whose context
+//     is the document node, which no name test matches).
+
+// A Rule matches a context-path step and returns an equivalent
+// replacement for the subtree rooted at that step.
+type Rule struct {
+	Name string
+	// RequiresDistinct marks rules that change result multiplicities
+	// (though never the result set); they apply only when the plan root
+	// eliminates duplicates — "this optimization is done only when
+	// duplicate elimination is desired" (§VIII).
+	RequiresDistinct bool
+	// Apply returns the replacement subtree (sharing no mutable state
+	// with the original) and true when the rule matches s.
+	Apply func(s *plan.Step) (plan.Op, bool)
+}
+
+// Library returns the built-in transformation rules in the order the
+// optimizer tries them.
+func Library() []Rule {
+	return []Rule{
+		{Name: "parent-inversion", RequiresDistinct: true, Apply: parentInversion},
+		{Name: "upward-exist-dedup", RequiresDistinct: true, Apply: upwardExistDedup},
+		{Name: "child-pushdown", Apply: childPushdown},
+		{Name: "value-index", RequiresDistinct: true, Apply: valueIndex},
+		{Name: "attr-value-index", Apply: attrValueIndex},
+		{Name: "numeric-range-index", RequiresDistinct: true, Apply: numericRangeIndex},
+	}
+}
+
+// orderFree reports whether every predicate is insensitive to candidate
+// order (no ε / positional predicates).
+func orderFree(preds []plan.Op) bool {
+	for _, p := range preds {
+		switch p.(type) {
+		case *plan.Exist, *plan.BinaryPred:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func elemTest(t mass.NodeTest) bool {
+	return t.Type == mass.TestName || t.Type == mass.TestWildcard
+}
+
+func clone(op plan.Op) plan.Op {
+	if op == nil {
+		return nil
+	}
+	return plan.CloneOp(op)
+}
+
+func clonePreds(preds []plan.Op) []plan.Op {
+	out := make([]plan.Op, len(preds))
+	for i, p := range preds {
+		out[i] = clone(p)
+	}
+	return out
+}
+
+// parentInversion rewrites   X::A / parent::P   into an index-driven scan
+// of P with an existential child filter — the paper's first Q1 rewrite
+// (Fig. 8):
+//
+//	descendant::A/parent::P  =>  descendant-or-self::P[child::A]
+//	child::A/parent::P       =>  self::P[child::A]
+//
+// It pays off when P is rarer than A (COUNT(P) < COUNT(A)).
+func parentInversion(s *plan.Step) (plan.Op, bool) {
+	if s.Axis != mass.AxisParent {
+		return nil, false
+	}
+	x, ok := s.Context.(*plan.Step)
+	if !ok || !elemTest(x.Test) || !orderFree(x.Preds) || !orderFree(s.Preds) {
+		return nil, false
+	}
+	var newAxis mass.Axis
+	switch x.Axis {
+	case mass.AxisDescendant:
+		newAxis = mass.AxisDescendantOrSelf
+	case mass.AxisChild:
+		newAxis = mass.AxisSelf
+	default:
+		return nil, false
+	}
+	inner := &plan.Step{Axis: mass.AxisChild, Test: x.Test, Preds: clonePreds(x.Preds)}
+	preds := append([]plan.Op{&plan.Exist{Pred: inner}}, clonePreds(s.Preds)...)
+	return &plan.Step{Axis: newAxis, Test: s.Test, Context: clone(x.Context), Preds: preds}, true
+}
+
+// upwardExistDedup rewrites an upward step over a child step into an
+// existential filter on the grandparent chain — the paper's Q2 rewrite:
+//
+//	X / child::W / ancestor::P  =>  X[child::W] / ancestor-or-self::P
+//	X / child::W / parent::P    =>  X[child::W] / self::P
+//
+// Every W child of the same X node produces the same ancestor set, so the
+// original plan generates duplicates that the rewritten one never
+// materializes ("this optimization is done only when duplicate
+// elimination is desired", §VIII).
+func upwardExistDedup(s *plan.Step) (plan.Op, bool) {
+	if s.Axis != mass.AxisAncestor && s.Axis != mass.AxisParent {
+		return nil, false
+	}
+	x, ok := s.Context.(*plan.Step)
+	if !ok || x.Axis != mass.AxisChild || x.Context == nil || !orderFree(s.Preds) {
+		return nil, false
+	}
+	newAxis := mass.AxisAncestorOrSelf
+	if s.Axis == mass.AxisParent {
+		newAxis = mass.AxisSelf
+	}
+	y := clone(x.Context)
+	ys, ok := y.(*plan.Step)
+	if !ok {
+		return nil, false
+	}
+	inner := &plan.Step{Axis: mass.AxisChild, Test: x.Test, Preds: clonePreds(x.Preds)}
+	ys.Preds = append(ys.Preds, &plan.Exist{Pred: inner})
+	return &plan.Step{Axis: newAxis, Test: s.Test, Context: ys, Preds: clonePreds(s.Preds)}, true
+}
+
+// childPushdown pushes a selective child step below its context — the
+// paper's second Q1 rewrite (Fig. 8b -> Fig. 11):
+//
+//	descendant::P[q] / child::C  =>  descendant::C[parent::P[q]]
+//
+// Applied when the chain starts at the context-path leaf (anchored at the
+// document node, which no name test can match, keeping the rewrite
+// exact). It pays off when C is rarer than P's output.
+func childPushdown(s *plan.Step) (plan.Op, bool) {
+	if s.Axis != mass.AxisChild || !elemTest(s.Test) || !orderFree(s.Preds) {
+		return nil, false
+	}
+	x, ok := s.Context.(*plan.Step)
+	if !ok || (x.Axis != mass.AxisDescendant && x.Axis != mass.AxisDescendantOrSelf) ||
+		!elemTest(x.Test) || x.Context != nil {
+		return nil, false
+	}
+	inner := &plan.Step{Axis: mass.AxisParent, Test: x.Test, Preds: clonePreds(x.Preds)}
+	preds := append([]plan.Op{&plan.Exist{Pred: inner}}, clonePreds(s.Preds)...)
+	return &plan.Step{Axis: mass.AxisDescendant, Test: s.Test, Preds: preds}, true
+}
+
+// valueIndex translates a value-based equality predicate into a value::
+// location step — the paper's Q2 rewrite (Fig. 9):
+//
+//	descendant::T[text() = 'lit']  =>  value::'lit' / parent::T
+//
+// The value index answers the literal lookup in one probe (TC(lit)
+// results), replacing a scan of every T with TC(lit) parent fetches.
+func valueIndex(s *plan.Step) (plan.Op, bool) {
+	if s.Axis != mass.AxisDescendant || !elemTest(s.Test) || s.Context != nil {
+		return nil, false
+	}
+	for i, pred := range s.Preds {
+		b, ok := pred.(*plan.BinaryPred)
+		if !ok || b.Cond != plan.CondEQ {
+			continue
+		}
+		lit := splitValueEq(b)
+		if lit == nil {
+			continue
+		}
+		rest := append(clonePreds(s.Preds[:i]), clonePreds(s.Preds[i+1:])...)
+		if !orderFree(rest) {
+			continue
+		}
+		valueStep := &plan.Step{
+			Axis: mass.AxisValue,
+			Test: mass.NodeTest{Type: mass.TestName, Name: lit.Value},
+		}
+		return &plan.Step{Axis: mass.AxisParent, Test: s.Test, Context: valueStep, Preds: rest}, true
+	}
+	return nil, false
+}
+
+// attrValueIndex extends the value-index rewrite to attribute equality —
+// the same one-probe value lookup the paper describes for eXist's missing
+// case ("predicate expressions involving attributes ... will involve more
+// than just one look-up, while in VAMANA the index structure supports
+// value-based comparisons in one look-up", §II):
+//
+//	descendant::T[@a = 'lit']  =>  attr-value::@a='lit' / parent::T
+//
+// Attribute names are unique per element, so each surviving element is
+// produced exactly once; no duplicate elimination is required.
+func attrValueIndex(s *plan.Step) (plan.Op, bool) {
+	if s.Axis != mass.AxisDescendant || !elemTest(s.Test) || s.Context != nil {
+		return nil, false
+	}
+	for i, pred := range s.Preds {
+		b, ok := pred.(*plan.BinaryPred)
+		if !ok || b.Cond != plan.CondEQ {
+			continue
+		}
+		lit, attr := splitAttrValueEq(b)
+		if lit == nil {
+			continue
+		}
+		rest := append(clonePreds(s.Preds[:i]), clonePreds(s.Preds[i+1:])...)
+		if !orderFree(rest) {
+			continue
+		}
+		valueStep := &plan.Step{
+			Axis: mass.AxisAttrValue,
+			Test: mass.NodeTest{Type: mass.TestName, Name: lit.Value, Attr: attr},
+		}
+		return &plan.Step{Axis: mass.AxisParent, Test: s.Test, Context: valueStep, Preds: rest}, true
+	}
+	return nil, false
+}
+
+// numericRangeIndex rewrites numeric comparisons on text content into a
+// numeric-range index scan — MASS's support for range predicates:
+//
+//	descendant::T[text() > 100]           =>  num-range::(100,+Inf) / parent::T
+//	descendant::T[text() >= a and
+//	              text() < b]             =>  num-range::[a,b) / parent::T
+//
+// Duplicate elimination is required: an element with two in-range text
+// children would otherwise be produced twice.
+func numericRangeIndex(s *plan.Step) (plan.Op, bool) {
+	if s.Axis != mass.AxisDescendant || !elemTest(s.Test) || s.Context != nil {
+		return nil, false
+	}
+	for i, pred := range s.Preds {
+		lo, loIncl, hi, hiIncl, ok := extractNumRange(pred)
+		if !ok {
+			continue
+		}
+		rest := append(clonePreds(s.Preds[:i]), clonePreds(s.Preds[i+1:])...)
+		if !orderFree(rest) {
+			continue
+		}
+		rangeStep := &plan.Step{
+			Axis:      mass.AxisNumRange,
+			Test:      mass.NodeTest{Type: mass.TestText},
+			NumLo:     lo,
+			NumLoIncl: loIncl,
+			NumHi:     hi,
+			NumHiIncl: hiIncl,
+		}
+		return &plan.Step{Axis: mass.AxisParent, Test: s.Test, Context: rangeStep, Preds: rest}, true
+	}
+	return nil, false
+}
+
+// extractNumRange recognizes a numeric-comparison predicate over
+// child::text() — a single comparison or an AND of two — and returns the
+// equivalent value range.
+func extractNumRange(op plan.Op) (lo float64, loIncl bool, hi float64, hiIncl bool, ok bool) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	loIncl, hiIncl = true, true
+	b, isB := op.(*plan.BinaryPred)
+	if !isB {
+		return 0, false, 0, false, false
+	}
+	apply := func(cmp *plan.BinaryPred) bool {
+		bound, dir, ok := numBound(cmp)
+		if !ok {
+			return false
+		}
+		switch dir {
+		case plan.CondEQ:
+			if bound > lo || (bound == lo && loIncl) {
+				lo, loIncl = bound, true
+			}
+			if bound < hi || (bound == hi && hiIncl) {
+				hi, hiIncl = bound, true
+			}
+		case plan.CondGT:
+			if bound >= lo {
+				lo, loIncl = bound, false
+			}
+		case plan.CondGE:
+			if bound > lo {
+				lo, loIncl = bound, true
+			}
+		case plan.CondLT:
+			if bound <= hi {
+				hi, hiIncl = bound, false
+			}
+		case plan.CondLE:
+			if bound < hi {
+				hi, hiIncl = bound, true
+			}
+		}
+		return true
+	}
+	if b.Cond == plan.CondAND {
+		l, lok := b.Left.(*plan.BinaryPred)
+		r, rok := b.Right.(*plan.BinaryPred)
+		if !lok || !rok || !apply(l) || !apply(r) {
+			return 0, false, 0, false, false
+		}
+		return lo, loIncl, hi, hiIncl, true
+	}
+	if !apply(b) {
+		return 0, false, 0, false, false
+	}
+	return lo, loIncl, hi, hiIncl, true
+}
+
+// numBound matches one comparison β over (child::text(), numeric literal)
+// in either order, returning the bound value and the direction normalized
+// to "text() DIR bound".
+func numBound(b *plan.BinaryPred) (float64, plan.PredCond, bool) {
+	isTextStep := func(op plan.Op) bool {
+		st, ok := op.(*plan.Step)
+		return ok && st.Axis == mass.AxisChild && st.Test.Type == mass.TestText &&
+			st.Context == nil && len(st.Preds) == 0
+	}
+	numLit := func(op plan.Op) (float64, bool) {
+		l, ok := op.(*plan.Literal)
+		if ok && l.Numeric && !math.IsNaN(l.Num) {
+			return l.Num, true
+		}
+		return 0, false
+	}
+	switch {
+	case isTextStep(b.Left):
+		if v, ok := numLit(b.Right); ok {
+			switch b.Cond {
+			case plan.CondEQ, plan.CondGT, plan.CondGE, plan.CondLT, plan.CondLE:
+				return v, b.Cond, true
+			}
+		}
+	case isTextStep(b.Right):
+		if v, ok := numLit(b.Left); ok {
+			// lit DIR text()  ==  text() flip(DIR) lit
+			switch b.Cond {
+			case plan.CondEQ:
+				return v, plan.CondEQ, true
+			case plan.CondGT:
+				return v, plan.CondLT, true
+			case plan.CondGE:
+				return v, plan.CondLE, true
+			case plan.CondLT:
+				return v, plan.CondGT, true
+			case plan.CondLE:
+				return v, plan.CondGE, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// splitAttrValueEq recognizes β(EQ) over (attribute::name, literal) and
+// returns the literal and attribute name, or nil when it does not match.
+func splitAttrValueEq(b *plan.BinaryPred) (*plan.Literal, string) {
+	classify := func(op plan.Op) (*plan.Literal, bool) {
+		if l, ok := op.(*plan.Literal); ok && !l.Numeric {
+			return l, true
+		}
+		return nil, false
+	}
+	attrStep := func(op plan.Op) (string, bool) {
+		st, ok := op.(*plan.Step)
+		if ok && st.Axis == mass.AxisAttribute && st.Test.Type == mass.TestName &&
+			st.Context == nil && len(st.Preds) == 0 {
+			return st.Test.Name, true
+		}
+		return "", false
+	}
+	if l, ok := classify(b.Left); ok {
+		if a, ok := attrStep(b.Right); ok {
+			return l, a
+		}
+	}
+	if l, ok := classify(b.Right); ok {
+		if a, ok := attrStep(b.Left); ok {
+			return l, a
+		}
+	}
+	return nil, ""
+}
+
+// splitValueEq recognizes β(EQ) over (child::text(), literal) in either
+// order and returns the literal, or nil when the shape does not match.
+func splitValueEq(b *plan.BinaryPred) *plan.Literal {
+	classify := func(op plan.Op) (*plan.Literal, bool) {
+		if l, ok := op.(*plan.Literal); ok && !l.Numeric {
+			return l, true
+		}
+		return nil, false
+	}
+	isTextStep := func(op plan.Op) bool {
+		st, ok := op.(*plan.Step)
+		return ok && st.Axis == mass.AxisChild && st.Test.Type == mass.TestText &&
+			st.Context == nil && len(st.Preds) == 0
+	}
+	if l, ok := classify(b.Left); ok && isTextStep(b.Right) {
+		return l
+	}
+	if l, ok := classify(b.Right); ok && isTextStep(b.Left) {
+		return l
+	}
+	return nil
+}

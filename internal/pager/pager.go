@@ -1,0 +1,293 @@
+// Package pager provides fixed-size page storage for the MASS indexes. A
+// Pager stores 8 KiB pages either wholly in memory or backed by a file on
+// disk. Higher layers (internal/btree) own page contents and caching; the
+// pager is only responsible for durable allocation, reads, writes, and the
+// free list.
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageSize is the size in bytes of every page.
+const PageSize = 8192
+
+// PageID identifies a page. Page 0 is reserved for pager metadata (the free
+// list head and page count); the first allocatable page is 1.
+type PageID uint32
+
+// InvalidPage is the zero PageID, never returned by Allocate.
+const InvalidPage PageID = 0
+
+var (
+	// ErrPageRange is returned when a page id is out of range.
+	ErrPageRange = errors.New("pager: page id out of range")
+	// ErrClosed is returned when the pager has been closed.
+	ErrClosed = errors.New("pager: closed")
+)
+
+// metaMagic identifies a pager file. Stored at the start of page 0.
+var metaMagic = [8]byte{'V', 'A', 'M', 'A', 'N', 'A', 'P', '1'}
+
+// Pager is a page allocator and reader/writer. It is safe for concurrent
+// use.
+type Pager struct {
+	mu       sync.Mutex
+	file     *os.File // nil in memory mode
+	mem      [][]byte // memory mode storage, indexed by PageID
+	npages   PageID   // number of pages including page 0
+	free     []PageID // free list (in-memory; persisted in page 0 on Flush)
+	userMeta [userMetaSize]byte
+	closed   bool
+}
+
+// userMetaSize is the number of client metadata bytes persisted in page 0.
+// The MASS store records its catalog tree root here.
+const userMetaSize = 32
+
+// UserMeta returns the client metadata bytes persisted with the pager.
+func (p *Pager) UserMeta() [userMetaSize]byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.userMeta
+}
+
+// SetUserMeta stores client metadata; it is persisted by the next Flush.
+func (p *Pager) SetUserMeta(m [userMetaSize]byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.userMeta = m
+}
+
+// NewMemory returns a Pager that keeps all pages in memory.
+func NewMemory() *Pager {
+	p := &Pager{npages: 1}
+	p.mem = make([][]byte, 1)
+	p.mem[0] = make([]byte, PageSize)
+	return p
+}
+
+// Open opens (or creates) a file-backed pager at path. An existing file has
+// its metadata page validated and its free list restored.
+func Open(path string) (*Pager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: stat %s: %w", path, err)
+	}
+	p := &Pager{file: f}
+	if st.Size() == 0 {
+		p.npages = 1
+		if err := p.writePage(0, make([]byte, PageSize)); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := p.Flush(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return p, nil
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("pager: %s: size %d not a multiple of page size", path, st.Size())
+	}
+	p.npages = PageID(st.Size() / PageSize)
+	if err := p.loadMeta(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// loadMeta restores the free list from page 0.
+func (p *Pager) loadMeta() error {
+	buf := make([]byte, PageSize)
+	if err := p.readPage(0, buf); err != nil {
+		return err
+	}
+	if [8]byte(buf[:8]) != metaMagic {
+		return errors.New("pager: bad magic: not a VAMANA page file")
+	}
+	n := binary.LittleEndian.Uint32(buf[8:12])
+	if PageID(n) > p.npages {
+		return fmt.Errorf("pager: meta page count %d exceeds file pages %d", n, p.npages)
+	}
+	p.npages = PageID(n)
+	copy(p.userMeta[:], buf[12:12+userMetaSize])
+	stored := binary.LittleEndian.Uint32(buf[12+userMetaSize : 16+userMetaSize])
+	p.free = p.free[:0]
+	off := 16 + userMetaSize
+	for i := uint32(0); i < stored; i++ {
+		if off+4 > PageSize {
+			return errors.New("pager: corrupt free list")
+		}
+		p.free = append(p.free, PageID(binary.LittleEndian.Uint32(buf[off:off+4])))
+		off += 4
+	}
+	return nil
+}
+
+// Flush persists pager metadata (page count and free list). Page writes
+// themselves are write-through, so this is cheap. In memory mode it is a
+// no-op.
+func (p *Pager) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if p.file == nil {
+		return nil
+	}
+	buf := make([]byte, PageSize)
+	copy(buf[:8], metaMagic[:])
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(p.npages))
+	copy(buf[12:12+userMetaSize], p.userMeta[:])
+	// The free list that fits in the meta page is persisted; overflow
+	// pages are simply leaked on reopen, which is safe (never reused but
+	// never referenced).
+	maxFree := (PageSize - 16 - userMetaSize) / 4
+	n := len(p.free)
+	if n > maxFree {
+		n = maxFree
+	}
+	binary.LittleEndian.PutUint32(buf[12+userMetaSize:16+userMetaSize], uint32(n))
+	off := 16 + userMetaSize
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[off:off+4], uint32(p.free[i]))
+		off += 4
+	}
+	if err := p.writePage(0, buf); err != nil {
+		return err
+	}
+	return p.file.Sync()
+}
+
+// Allocate returns a fresh (or recycled) page id. The page contents are
+// undefined until written.
+func (p *Pager) Allocate() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return InvalidPage, ErrClosed
+	}
+	if n := len(p.free); n > 0 {
+		id := p.free[n-1]
+		p.free = p.free[:n-1]
+		return id, nil
+	}
+	id := p.npages
+	p.npages++
+	if p.file == nil {
+		p.mem = append(p.mem, make([]byte, PageSize))
+	}
+	return id, nil
+}
+
+// Free returns a page to the free list for reuse.
+func (p *Pager) Free(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if id == 0 || id >= p.npages {
+		return ErrPageRange
+	}
+	p.free = append(p.free, id)
+	return nil
+}
+
+// Read copies the contents of page id into buf, which must be PageSize
+// bytes long.
+func (p *Pager) Read(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if id >= p.npages {
+		return ErrPageRange
+	}
+	return p.readPage(id, buf)
+}
+
+// Write stores buf (PageSize bytes) as the contents of page id.
+func (p *Pager) Write(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if id >= p.npages {
+		return ErrPageRange
+	}
+	return p.writePage(id, buf)
+}
+
+func (p *Pager) readPage(id PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("pager: read buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	if p.file == nil {
+		copy(buf, p.mem[id])
+		return nil
+	}
+	_, err := p.file.ReadAt(buf, int64(id)*PageSize)
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+func (p *Pager) writePage(id PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("pager: write buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	if p.file == nil {
+		copy(p.mem[id], buf)
+		return nil
+	}
+	if _, err := p.file.WriteAt(buf, int64(id)*PageSize); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// NumPages returns the number of pages, including the reserved meta page.
+func (p *Pager) NumPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.npages)
+}
+
+// InMemory reports whether the pager has no backing file.
+func (p *Pager) InMemory() bool { return p.file == nil }
+
+// Close flushes metadata and releases the backing file, if any.
+func (p *Pager) Close() error {
+	if err := p.Flush(); err != nil && err != ErrClosed {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	if p.file != nil {
+		return p.file.Close()
+	}
+	p.mem = nil
+	return nil
+}

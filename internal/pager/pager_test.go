@@ -1,0 +1,203 @@
+package pager
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func fill(b byte) []byte {
+	p := make([]byte, PageSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	p := NewMemory()
+	defer p.Close()
+	id, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == InvalidPage {
+		t.Fatal("allocated invalid page id")
+	}
+	want := fill(0xAB)
+	if err := p.Write(id, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := p.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("page contents mismatch")
+	}
+}
+
+func TestAllocateDistinct(t *testing.T) {
+	p := NewMemory()
+	defer p.Close()
+	seen := map[PageID]bool{}
+	for i := 0; i < 100; i++ {
+		id, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("page %d allocated twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	p := NewMemory()
+	defer p.Close()
+	id, _ := p.Allocate()
+	if err := p.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := p.Allocate()
+	if id2 != id {
+		t.Fatalf("freed page not reused: got %d, want %d", id2, id)
+	}
+}
+
+func TestPageRangeErrors(t *testing.T) {
+	p := NewMemory()
+	defer p.Close()
+	buf := make([]byte, PageSize)
+	if err := p.Read(99, buf); err != ErrPageRange {
+		t.Fatalf("Read out of range: %v", err)
+	}
+	if err := p.Write(99, buf); err != ErrPageRange {
+		t.Fatalf("Write out of range: %v", err)
+	}
+	if err := p.Free(0); err != ErrPageRange {
+		t.Fatalf("Free meta page: %v", err)
+	}
+}
+
+func TestBadBufferSize(t *testing.T) {
+	p := NewMemory()
+	defer p.Close()
+	id, _ := p.Allocate()
+	if err := p.Write(id, make([]byte, 10)); err == nil {
+		t.Fatal("short write buffer accepted")
+	}
+	if err := p.Read(id, make([]byte, 10)); err == nil {
+		t.Fatal("short read buffer accepted")
+	}
+}
+
+func TestFilePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.vam")
+	p, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if err := p.Write(id, fill(byte('A'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Free one page so the free list round-trips too.
+	if err := p.Free(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	buf := make([]byte, PageSize)
+	for i, id := range ids {
+		if i == 2 {
+			continue
+		}
+		if err := p2.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte('A'+i) {
+			t.Fatalf("page %d content lost: %q", id, buf[0])
+		}
+	}
+	// The freed page must be reused before any new page.
+	id, err := p2.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ids[2] {
+		t.Fatalf("free list not restored: got %d, want %d", id, ids[2])
+	}
+}
+
+func TestClosedErrors(t *testing.T) {
+	p := NewMemory()
+	p.Close()
+	if _, err := p.Allocate(); err != ErrClosed {
+		t.Fatalf("Allocate after close: %v", err)
+	}
+	if err := p.Read(0, make([]byte, PageSize)); err != ErrClosed {
+		t.Fatalf("Read after close: %v", err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.vam")
+	if err := writeGarbage(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a non-pager file")
+	}
+}
+
+func writeGarbage(path string) error {
+	p, err := Open(path)
+	if err != nil {
+		return err
+	}
+	// Corrupt the magic by writing junk directly over page 0.
+	junk := make([]byte, PageSize)
+	copy(junk, []byte("NOTAPAGEFILE"))
+	if err := p.writePage(0, junk); err != nil {
+		return err
+	}
+	return p.file.Close() // bypass Close's Flush so the junk survives
+}
+
+func TestUserMetaPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.vam")
+	p, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m [userMetaSize]byte
+	copy(m[:], []byte("catalog-root=42"))
+	p.SetUserMeta(m)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := p2.UserMeta(); got != m {
+		t.Fatalf("user meta lost: %q", got[:])
+	}
+}

@@ -1,0 +1,191 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"vamana/internal/mass"
+	"vamana/internal/xpath"
+)
+
+func build(t *testing.T, expr string) *Plan {
+	t.Helper()
+	ast, err := xpath.Parse(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildPaperQ2Shape(t *testing.T) {
+	// Fig. 4b: //name[text()='Yung Flach']/following-sibling::emailaddress.
+	p := build(t, "//name[ text() = 'Yung Flach' ]/following-sibling::emailaddress")
+	email, ok := p.Root.Context.(*Step)
+	if !ok || email.Axis != mass.AxisFollowingSibling || email.Test.Name != "emailaddress" {
+		t.Fatalf("top = %v", p.Root.Context)
+	}
+	name, ok := email.Context.(*Step)
+	if !ok || name.Test.Name != "name" {
+		t.Fatalf("context = %v", email.Context)
+	}
+	// The // collapses into a single descendant operator at build time,
+	// matching the paper's "φ //::name" single-operator default plans.
+	if name.Axis != mass.AxisDescendant || name.Context != nil {
+		t.Fatalf("name step = %s (ctx %v)", name.Label(), name.Context)
+	}
+	if len(name.Preds) != 1 {
+		t.Fatalf("preds = %d", len(name.Preds))
+	}
+	beta, ok := name.Preds[0].(*BinaryPred)
+	if !ok || beta.Cond != CondEQ {
+		t.Fatalf("pred = %v", name.Preds[0])
+	}
+	if _, ok := beta.Left.(*Step); !ok {
+		t.Fatalf("β left = %T", beta.Left)
+	}
+	lit, ok := beta.Right.(*Literal)
+	if !ok || lit.Value != "Yung Flach" {
+		t.Fatalf("β right = %v", beta.Right)
+	}
+}
+
+func TestBuildPredicateKinds(t *testing.T) {
+	p := build(t, "//a[b][text()='x'][2][position()=last()][b and c]")
+	top := p.Root.Context.(*Step)
+	if len(top.Preds) != 5 {
+		t.Fatalf("preds = %d", len(top.Preds))
+	}
+	if _, ok := top.Preds[0].(*Exist); !ok {
+		t.Errorf("pred0 = %T, want Exist", top.Preds[0])
+	}
+	if b, ok := top.Preds[1].(*BinaryPred); !ok || b.Cond != CondEQ {
+		t.Errorf("pred1 = %v, want β(EQ)", top.Preds[1])
+	}
+	if _, ok := top.Preds[2].(*ExprPred); !ok {
+		t.Errorf("pred2 = %T, want ExprPred (positional)", top.Preds[2])
+	}
+	if _, ok := top.Preds[3].(*ExprPred); !ok {
+		t.Errorf("pred3 = %T, want ExprPred", top.Preds[3])
+	}
+	if b, ok := top.Preds[4].(*BinaryPred); !ok || b.Cond != CondAND {
+		t.Errorf("pred4 = %v, want β(AND)", top.Preds[4])
+	}
+}
+
+func TestPositionalBlocksSlashCollapse(t *testing.T) {
+	// //x[2] must keep the descendant-or-self::node() helper (grouping).
+	p := build(t, "//x[2]")
+	x := p.Root.Context.(*Step)
+	if x.Axis != mass.AxisChild {
+		t.Fatalf("step axis = %v, want child (no collapse)", x.Axis)
+	}
+	dos, ok := x.Context.(*Step)
+	if !ok || dos.Axis != mass.AxisDescendantOrSelf {
+		t.Fatalf("context = %v", x.Context)
+	}
+	// ...while the order-free version collapses.
+	p2 := build(t, "//x[y]")
+	x2 := p2.Root.Context.(*Step)
+	if x2.Axis != mass.AxisDescendant || x2.Context != nil {
+		t.Fatalf("order-free // did not collapse: %s", p2)
+	}
+}
+
+func TestBuildUnion(t *testing.T) {
+	p := build(t, "//a | //b")
+	j, ok := p.Root.Context.(*Join)
+	if !ok || j.Cond != JoinUnion {
+		t.Fatalf("top = %v", p.Root.Context)
+	}
+}
+
+func TestBuildRejectsNonNodeSet(t *testing.T) {
+	for _, expr := range []string{"1 + 2", "'lit'", "count(//a)"} {
+		ast, err := xpath.Parse(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Build(ast); err == nil {
+			t.Errorf("Build(%q) succeeded", expr)
+		}
+	}
+}
+
+func TestAssignIDsPreorder(t *testing.T) {
+	p := build(t, "//a[b]/c")
+	ids := map[int]bool{}
+	for _, op := range p.Operators() {
+		id := op.(interface{ base() *Base }).base().ID
+		if id <= 0 || ids[id] {
+			t.Fatalf("bad or duplicate id %d", id)
+		}
+		ids[id] = true
+	}
+	if p.Root.ID != 1 {
+		t.Fatalf("root id = %d", p.Root.ID)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := build(t, "//a[b='x']/c")
+	q := p.Clone()
+	// Mutate the clone thoroughly.
+	for _, op := range q.Operators() {
+		if s, ok := op.(*Step); ok {
+			s.Test.Name = "mutated"
+			s.Preds = nil
+		}
+	}
+	// The original is untouched.
+	for _, op := range p.Operators() {
+		if s, ok := op.(*Step); ok && s.Test.Name == "mutated" {
+			t.Fatal("Clone shares step state with the original")
+		}
+	}
+	top := p.Root.Context.(*Step)
+	inner := top.Context.(*Step)
+	if len(inner.Preds) == 0 {
+		t.Fatal("Clone shares predicate slices with the original")
+	}
+}
+
+func TestContextPath(t *testing.T) {
+	p := build(t, "/a/b/c")
+	cp := p.ContextPath()
+	if len(cp) != 3 {
+		t.Fatalf("context path = %d ops", len(cp))
+	}
+	names := make([]string, len(cp))
+	for i, op := range cp {
+		names[i] = op.(*Step).Test.Name
+	}
+	if names[0] != "c" || names[1] != "b" || names[2] != "a" {
+		t.Fatalf("context path order = %v", names)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := build(t, "//name[text()='x']")
+	out := p.String()
+	for _, want := range []string{"R1", "descendant::name", "β", "L", `"x"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildPathHelper(t *testing.T) {
+	ast, _ := xpath.Parse("a/b")
+	lp := ast.(*xpath.LocationPath)
+	op, err := BuildPath(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*Step); !ok {
+		t.Fatalf("BuildPath = %T", op)
+	}
+}

@@ -1,0 +1,353 @@
+// Package xmark generates auction-site XML documents shaped like the
+// XMark benchmark's auction.xml (Schmidt et al., VLDB 2002), which the
+// paper's experimental study uses (§III, §VIII). The real XMark generator
+// is a C program; this reimplementation reproduces the element vocabulary,
+// structure and cardinality ratios that the paper's queries and worked
+// examples depend on:
+//
+//   - at factor f: ~25500·f person, ~21750·f item, ~1000·f category
+//     elements, so that name counts come out at ~48250·f — the paper's
+//     10 MB document (f = 0.1) reports COUNT(name) = 4825 and
+//     COUNT(person) = 2550 (Fig. 6);
+//   - address is optional (roughly half the persons), province optional
+//     inside address with US state values including "Vermont" (Q5);
+//   - closed auctions contain itemref followed by price siblings (Q4);
+//   - watches/watch elements reference open auctions (Q2);
+//   - exactly one person is named "Yung Flach" (the running example).
+//
+// Output is deterministic for a given Config.
+package xmark
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+)
+
+// Config controls document generation.
+type Config struct {
+	// Factor is the XMark scale factor; 1.0 targets roughly 100 MB.
+	// Use FactorForBytes to aim at a byte size.
+	Factor float64
+	// Seed drives all pseudo-random choices; documents with equal
+	// configs are byte-identical.
+	Seed int64
+}
+
+// FactorForBytes returns the scale factor that generates approximately
+// target bytes of XML.
+func FactorForBytes(target int) float64 {
+	const bytesPerFactor = 100 << 20 // ~100 MB at factor 1.0
+	return float64(target) / bytesPerFactor
+}
+
+// Counts reports the element cardinalities a config will generate.
+type Counts struct {
+	Persons, Items, Categories, OpenAuctions, ClosedAuctions int
+}
+
+// CountsFor computes the cardinalities for a factor.
+func CountsFor(f float64) Counts {
+	n := func(base int) int {
+		v := int(float64(base) * f)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return Counts{
+		Persons:        n(25500),
+		Items:          n(21750),
+		Categories:     n(1000),
+		OpenAuctions:   n(12000),
+		ClosedAuctions: n(9750),
+	}
+}
+
+var (
+	firstNames = []string{
+		"Yung", "Jaak", "Mehmet", "Ewa", "Kawon", "Sandeepan", "Dov", "Mitsuyuki",
+		"Farouk", "Benedikte", "Emilio", "Takahiro", "Gopal", "Ratko", "Wanda",
+		"Vibhanshu", "Xiaoqiu", "Morrie", "Annegret", "Piyush", "Larbi", "Odysseas",
+	}
+	lastNames = []string{
+		"Flach", "Tempesti", "Acer", "Banerjee", "Dittrich", "Fagin", "Gyssens",
+		"Haritsa", "Ioannidis", "Jagadish", "Kanellakis", "Lakshmanan", "Mendelzon",
+		"Naughton", "Ooi", "Paredaens", "Ramakrishnan", "Suciu", "Tannen", "Ullman",
+	}
+	cities = []string{
+		"Monroe", "Ottawa", "Madison", "Springfield", "Georgetown", "Clinton",
+		"Franklin", "Greenville", "Bristol", "Fairview", "Salem", "Arlington",
+	}
+	provinces = []string{
+		"Vermont", "Quebec", "Ontario", "Bavaria", "Tuscany", "Andalusia",
+		"Hokkaido", "Gauteng", "Queensland", "Patagonia",
+	}
+	countries = []string{
+		"United States", "Canada", "Germany", "Italy", "Spain", "Japan",
+		"South Africa", "Australia", "Argentina", "Greece",
+	}
+	streets = []string{
+		"Pfisterer St", "Curie Place", "Main St", "Oak Ave", "Maple Dr",
+		"Cedar Ln", "Institute Rd", "Park Blvd", "Lake View", "Hill Crest",
+	}
+	regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	words   = []string{
+		"gold", "brass", "carved", "antique", "vintage", "rare", "pristine",
+		"ornate", "gilded", "ceramic", "walnut", "ivory", "silver", "amber",
+		"lacquered", "enameled", "woven", "etched", "polished", "burnished",
+		"timepiece", "cabinet", "locket", "tapestry", "manuscript", "sextant",
+		"astrolabe", "chalice", "figurine", "medallion", "snuffbox", "candelabra",
+	}
+	auctionTypes = []string{"Regular", "Featured", "Dutch"}
+	interests    = []string{"category1", "category7", "category12", "category19", "category23"}
+)
+
+// Generate writes the document to w and returns the number of bytes
+// written.
+func Generate(w io.Writer, cfg Config) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	g := &gen{w: bw, rng: rand.New(rand.NewSource(cfg.Seed + 7919))}
+	c := CountsFor(cfg.Factor)
+	g.document(c)
+	if g.err != nil {
+		return g.n, g.err
+	}
+	if err := bw.Flush(); err != nil {
+		return g.n, err
+	}
+	return g.n, nil
+}
+
+// GenerateString renders the document into memory. Intended for tests and
+// small factors; large documents should stream via Generate.
+func GenerateString(cfg Config) string {
+	var b strings.Builder
+	if _, err := Generate(&b, cfg); err != nil {
+		// strings.Builder cannot fail; any error is a generator bug.
+		panic(err)
+	}
+	return b.String()
+}
+
+type gen struct {
+	w   *bufio.Writer
+	rng *rand.Rand
+	n   int64
+	err error
+}
+
+func (g *gen) emit(format string, args ...any) {
+	if g.err != nil {
+		return
+	}
+	n, err := fmt.Fprintf(g.w, format, args...)
+	g.n += int64(n)
+	g.err = err
+}
+
+func (g *gen) pick(list []string) string { return list[g.rng.Intn(len(list))] }
+
+// personName generates a random full name that is never the running
+// example's unique "Yung Flach" (which is emitted exactly once, by
+// person()).
+func (g *gen) personName() string {
+	first, last := g.pick(firstNames), g.pick(lastNames)
+	if first == "Yung" && last == "Flach" {
+		last = "Flachsbart"
+	}
+	return first + " " + last
+}
+
+func (g *gen) chance(p float64) bool { return g.rng.Float64() < p }
+
+// sentence emits ~n words of deterministic prose.
+func (g *gen) sentence(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(g.pick(words))
+	}
+	return b.String()
+}
+
+func (g *gen) document(c Counts) {
+	g.emit("<?xml version=\"1.0\" standalone=\"yes\"?>\n<site>\n")
+	g.regions(c)
+	g.categories(c)
+	g.catgraph(c)
+	g.people(c)
+	g.openAuctions(c)
+	g.closedAuctions(c)
+	g.emit("</site>\n")
+}
+
+func (g *gen) regions(c Counts) {
+	g.emit("<regions>\n")
+	perRegion := c.Items / len(regions)
+	extra := c.Items % len(regions)
+	id := 0
+	for ri, region := range regions {
+		n := perRegion
+		if ri < extra {
+			n++
+		}
+		g.emit("<%s>\n", region)
+		for i := 0; i < n; i++ {
+			g.item(id, c)
+			id++
+		}
+		g.emit("</%s>\n", region)
+	}
+	g.emit("</regions>\n")
+}
+
+func (g *gen) item(id int, c Counts) {
+	g.emit("<item id=\"item%d\">\n", id)
+	g.emit("<location>%s</location>\n", g.pick(countries))
+	g.emit("<quantity>%d</quantity>\n", 1+g.rng.Intn(9))
+	g.emit("<name>%s %s</name>\n", g.pick(words), g.pick(words))
+	g.emit("<payment>Creditcard</payment>\n")
+	g.emit("<description><text>%s</text></description>\n", g.sentence(150+g.rng.Intn(380)))
+	g.emit("<shipping>Will ship internationally</shipping>\n")
+	if g.chance(0.4) {
+		g.emit("<incategory category=\"category%d\"/>\n", g.rng.Intn(c.Categories))
+	}
+	g.emit("<mailbox>\n")
+	for i := 0; i < g.rng.Intn(3); i++ {
+		g.emit("<mail><from>%s</from><to>%s</to><date>%02d/%02d/2000</date><text>%s</text></mail>\n",
+			g.personName(), g.personName(),
+			1+g.rng.Intn(12), 1+g.rng.Intn(28), g.sentence(30+g.rng.Intn(90)))
+	}
+	g.emit("</mailbox>\n")
+	g.emit("</item>\n")
+}
+
+func (g *gen) categories(c Counts) {
+	g.emit("<categories>\n")
+	for i := 0; i < c.Categories; i++ {
+		g.emit("<category id=\"category%d\">\n", i)
+		g.emit("<name>%s %s</name>\n", g.pick(words), g.pick(words))
+		g.emit("<description><text>%s</text></description>\n", g.sentence(30+g.rng.Intn(140)))
+		g.emit("</category>\n")
+	}
+	g.emit("</categories>\n")
+}
+
+func (g *gen) catgraph(c Counts) {
+	g.emit("<catgraph>\n")
+	edges := c.Categories
+	for i := 0; i < edges; i++ {
+		g.emit("<edge from=\"category%d\" to=\"category%d\"/>\n",
+			g.rng.Intn(c.Categories), g.rng.Intn(c.Categories))
+	}
+	g.emit("</catgraph>\n")
+}
+
+func (g *gen) people(c Counts) {
+	g.emit("<people>\n")
+	// The running example's person appears exactly once, at a
+	// deterministic position.
+	flachAt := 144 % c.Persons
+	for i := 0; i < c.Persons; i++ {
+		g.person(i, i == flachAt, c)
+	}
+	g.emit("</people>\n")
+}
+
+func (g *gen) person(id int, isFlach bool, c Counts) {
+	g.emit("<person id=\"person%d\">\n", id)
+	if isFlach {
+		g.emit("<name>Yung Flach</name>\n")
+		g.emit("<emailaddress>Flach@auth.gr</emailaddress>\n")
+	} else {
+		name := g.personName()
+		g.emit("<name>%s</name>\n", name)
+		last := name[strings.IndexByte(name, ' ')+1:]
+		g.emit("<emailaddress>%s@example%d.net</emailaddress>\n", strings.ToLower(last), g.rng.Intn(99))
+	}
+	if g.chance(0.5) {
+		g.emit("<phone>+%d (%d) %d</phone>\n", 1+g.rng.Intn(98), 100+g.rng.Intn(899), 1000000+g.rng.Intn(8999999))
+	}
+	if g.chance(0.493) {
+		g.emit("<address>\n")
+		g.emit("<street>%d %s</street>\n", 1+g.rng.Intn(99), g.pick(streets))
+		g.emit("<city>%s</city>\n", g.pick(cities))
+		if g.chance(0.25) {
+			g.emit("<province>%s</province>\n", g.pick(provinces))
+		}
+		g.emit("<country>%s</country>\n", g.pick(countries))
+		g.emit("<zipcode>%d</zipcode>\n", 1+g.rng.Intn(99))
+		g.emit("</address>\n")
+	}
+	if g.chance(0.3) {
+		g.emit("<homepage>http://www.example%d.org/~p%d</homepage>\n", g.rng.Intn(99), id)
+	}
+	if g.chance(0.4) {
+		g.emit("<creditcard>%04d %04d %04d %04d</creditcard>\n",
+			g.rng.Intn(10000), g.rng.Intn(10000), g.rng.Intn(10000), g.rng.Intn(10000))
+	}
+	if g.chance(0.6) {
+		g.emit("<profile income=\"%d.%02d\">\n", 9000+g.rng.Intn(90000), g.rng.Intn(100))
+		for i := 0; i < g.rng.Intn(4); i++ {
+			g.emit("<interest category=\"%s\"/>\n", g.pick(interests))
+		}
+		if g.chance(0.5) {
+			g.emit("<education>Graduate School</education>\n")
+		}
+		g.emit("<business>%s</business>\n", map[bool]string{true: "Yes", false: "No"}[g.chance(0.5)])
+		g.emit("</profile>\n")
+	}
+	if g.chance(0.35) {
+		g.emit("<watches>\n")
+		for i := 0; i < 1+g.rng.Intn(4); i++ {
+			g.emit("<watch open_auction=\"open_auction%d\"/>\n", g.rng.Intn(c.OpenAuctions))
+		}
+		g.emit("</watches>\n")
+	}
+	g.emit("</person>\n")
+}
+
+func (g *gen) openAuctions(c Counts) {
+	g.emit("<open_auctions>\n")
+	for i := 0; i < c.OpenAuctions; i++ {
+		g.emit("<open_auction id=\"open_auction%d\">\n", i)
+		g.emit("<initial>%d.%02d</initial>\n", 1+g.rng.Intn(300), g.rng.Intn(100))
+		for b := 0; b < g.rng.Intn(4); b++ {
+			g.emit("<bidder><date>%02d/%02d/2000</date><time>%02d:%02d:%02d</time><personref person=\"person%d\"/><increase>%d.%02d</increase></bidder>\n",
+				1+g.rng.Intn(12), 1+g.rng.Intn(28), g.rng.Intn(24), g.rng.Intn(60), g.rng.Intn(60),
+				g.rng.Intn(c.Persons), 1+g.rng.Intn(20), g.rng.Intn(100))
+		}
+		g.emit("<current>%d.%02d</current>\n", 1+g.rng.Intn(600), g.rng.Intn(100))
+		g.emit("<itemref item=\"item%d\"/>\n", g.rng.Intn(c.Items))
+		g.emit("<seller person=\"person%d\"/>\n", g.rng.Intn(c.Persons))
+		g.emit("<annotation><description><text>%s</text></description></annotation>\n", g.sentence(25+g.rng.Intn(90)))
+		g.emit("<quantity>%d</quantity>\n", 1+g.rng.Intn(9))
+		g.emit("<type>%s</type>\n", g.pick(auctionTypes))
+		g.emit("<interval><start>%02d/%02d/2000</start><end>%02d/%02d/2001</end></interval>\n",
+			1+g.rng.Intn(12), 1+g.rng.Intn(28), 1+g.rng.Intn(12), 1+g.rng.Intn(28))
+		g.emit("</open_auction>\n")
+	}
+	g.emit("</open_auctions>\n")
+}
+
+func (g *gen) closedAuctions(c Counts) {
+	g.emit("<closed_auctions>\n")
+	for i := 0; i < c.ClosedAuctions; i++ {
+		g.emit("<closed_auction>\n")
+		g.emit("<seller person=\"person%d\"/>\n", g.rng.Intn(c.Persons))
+		g.emit("<buyer person=\"person%d\"/>\n", g.rng.Intn(c.Persons))
+		g.emit("<itemref item=\"item%d\"/>\n", g.rng.Intn(c.Items))
+		g.emit("<price>%d.%02d</price>\n", 1+g.rng.Intn(500), g.rng.Intn(100))
+		g.emit("<date>%02d/%02d/2000</date>\n", 1+g.rng.Intn(12), 1+g.rng.Intn(28))
+		g.emit("<quantity>%d</quantity>\n", 1+g.rng.Intn(9))
+		g.emit("<type>%s</type>\n", g.pick(auctionTypes))
+		g.emit("<annotation><description><text>%s</text></description></annotation>\n", g.sentence(20+g.rng.Intn(70)))
+		g.emit("</closed_auction>\n")
+	}
+	g.emit("</closed_auctions>\n")
+}

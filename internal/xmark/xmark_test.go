@@ -1,0 +1,102 @@
+package xmark
+
+import (
+	"strings"
+	"testing"
+
+	"vamana/internal/xmldoc"
+)
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{Factor: 0.002, Seed: 1}
+	a := GenerateString(cfg)
+	b := GenerateString(cfg)
+	if a != b {
+		t.Fatal("same config produced different documents")
+	}
+	c := GenerateString(Config{Factor: 0.002, Seed: 2})
+	if a == c {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestWellFormed(t *testing.T) {
+	src := GenerateString(Config{Factor: 0.005, Seed: 3})
+	nodes := 0
+	err := xmldoc.Parse(strings.NewReader(src), func(xmldoc.Node) error {
+		nodes++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("generated document is not well-formed: %v", err)
+	}
+	if nodes < 1000 {
+		t.Fatalf("suspiciously few nodes: %d", nodes)
+	}
+}
+
+// TestPaperCardinalities verifies the element-count calibration that the
+// paper's worked examples rely on (Fig. 6: 10 MB => 2550 person, 4825
+// name).
+func TestPaperCardinalities(t *testing.T) {
+	c := CountsFor(0.1)
+	if c.Persons != 2550 {
+		t.Errorf("persons at f=0.1: %d, want 2550", c.Persons)
+	}
+	names := c.Persons + c.Items + c.Categories
+	if names != 4825 {
+		t.Errorf("name elements at f=0.1: %d, want 4825", names)
+	}
+	if c.Categories != 100 {
+		t.Errorf("categories = %d, want 100", c.Categories)
+	}
+}
+
+func TestSizeCalibration(t *testing.T) {
+	// A small factor should land within 2x of the nominal target.
+	cfg := Config{Factor: FactorForBytes(1 << 20), Seed: 4}
+	src := GenerateString(cfg)
+	size := len(src)
+	if size < (1<<20)/2 || size > (1<<20)*2 {
+		t.Fatalf("1 MiB target produced %d bytes", size)
+	}
+}
+
+func TestRunningExamplePresence(t *testing.T) {
+	src := GenerateString(Config{Factor: 0.01, Seed: 5})
+	if got := strings.Count(src, "<name>Yung Flach</name>"); got != 1 {
+		t.Errorf("Yung Flach occurrences = %d, want exactly 1", got)
+	}
+	for _, needle := range []string{
+		"<province>", "<watches>", "<watch open_auction=", "<itemref item=",
+		"<price>", "<closed_auction>", "<open_auction id=", "<zipcode>",
+	} {
+		if !strings.Contains(src, needle) {
+			t.Errorf("generated document lacks %q", needle)
+		}
+	}
+	// Vermont must appear so Q5 has hits (provinces cycle through a short
+	// list, so any non-trivial document includes it).
+	if !strings.Contains(src, "<province>Vermont</province>") {
+		t.Error("no Vermont province in generated document")
+	}
+}
+
+func TestElementCountsMatchConfig(t *testing.T) {
+	cfg := Config{Factor: 0.004, Seed: 6}
+	want := CountsFor(cfg.Factor)
+	src := GenerateString(cfg)
+	count := func(tag string) int { return strings.Count(src, "<"+tag) }
+	if got := count("person id="); got != want.Persons {
+		t.Errorf("persons = %d, want %d", got, want.Persons)
+	}
+	if got := count("item id="); got != want.Items {
+		t.Errorf("items = %d, want %d", got, want.Items)
+	}
+	if got := count("open_auction id="); got != want.OpenAuctions {
+		t.Errorf("open auctions = %d, want %d", got, want.OpenAuctions)
+	}
+	if got := count("closed_auction>"); got != want.ClosedAuctions {
+		t.Errorf("closed auctions = %d, want %d", got, want.ClosedAuctions)
+	}
+}

@@ -1,0 +1,202 @@
+// Package xmldoc shreds XML documents into node records carrying FLEX
+// keys. It is the loader front-end of the MASS storage structure: the
+// stream of Node values it emits is exactly what mass.Store indexes.
+//
+// The shredder is streaming — documents are never materialized in memory —
+// which is what allows MASS to load documents "many gigabytes in size"
+// (paper §IV-B) without the DOM engines' main-memory bound.
+package xmldoc
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"vamana/internal/flex"
+)
+
+// Kind classifies a document node, following the XPath 1.0 data model.
+type Kind uint8
+
+const (
+	// KindDocument is the document root node (FLEX key "a").
+	KindDocument Kind = iota
+	// KindElement is an element node.
+	KindElement
+	// KindAttribute is an attribute node.
+	KindAttribute
+	// KindText is a text node.
+	KindText
+	// KindComment is a comment node.
+	KindComment
+	// KindPI is a processing-instruction node.
+	KindPI
+	// KindNamespace is a namespace-declaration node (xmlns / xmlns:p).
+	KindNamespace
+)
+
+// String returns the XPath-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDocument:
+		return "document"
+	case KindElement:
+		return "element"
+	case KindAttribute:
+		return "attribute"
+	case KindText:
+		return "text"
+	case KindComment:
+		return "comment"
+	case KindPI:
+		return "processing-instruction"
+	case KindNamespace:
+		return "namespace"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Node is one shredded document node. Name is the element or attribute
+// name (or PI target, or namespace prefix); Value is the attribute value,
+// text content, comment text, or PI data.
+type Node struct {
+	Key   flex.Key
+	Kind  Kind
+	Name  string
+	Value string
+}
+
+// Options configures parsing.
+type Options struct {
+	// KeepWhitespace retains whitespace-only text nodes. By default they
+	// are dropped, matching how XML databases typically load
+	// data-oriented documents.
+	KeepWhitespace bool
+	// MaxDepth bounds element nesting; 0 means the default (512).
+	MaxDepth int
+}
+
+const defaultMaxDepth = 512
+
+// Parse streams the XML document from r and invokes emit once per node in
+// document order. The first node is always the document node with key
+// flex.Root. Attribute and namespace nodes are emitted directly after
+// their element, before any child content, mirroring their FLEX key order.
+func Parse(r io.Reader, emit func(Node) error) error {
+	return ParseWith(r, Options{}, emit)
+}
+
+// ParseWith is Parse with explicit options.
+func ParseWith(r io.Reader, opts Options, emit func(Node) error) error {
+	maxDepth := opts.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = defaultMaxDepth
+	}
+	dec := xml.NewDecoder(r)
+
+	type frame struct {
+		key      flex.Key
+		children int // ordinal counter for non-attribute children
+	}
+	stack := []frame{{key: flex.Root}}
+	if err := emit(Node{Key: flex.Root, Kind: KindDocument, Name: "#document"}); err != nil {
+		return err
+	}
+	sawElement := false
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("xmldoc: parse: %w", err)
+		}
+		top := &stack[len(stack)-1]
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if len(stack) >= maxDepth {
+				return fmt.Errorf("xmldoc: document exceeds maximum depth %d", maxDepth)
+			}
+			if len(stack) == 1 && sawElement {
+				return fmt.Errorf("xmldoc: multiple root elements (%s)", t.Name.Local)
+			}
+			key := top.key.Child(flex.Ordinal(top.children))
+			top.children++
+			if err := emit(Node{Key: key, Kind: KindElement, Name: elementName(t.Name)}); err != nil {
+				return err
+			}
+			nattr := 0
+			for _, a := range t.Attr {
+				n := Node{Key: key.Child(flex.AttrOrdinal(nattr))}
+				nattr++
+				switch {
+				case a.Name.Space == "xmlns":
+					n.Kind, n.Name, n.Value = KindNamespace, a.Name.Local, a.Value
+				case a.Name.Space == "" && a.Name.Local == "xmlns":
+					n.Kind, n.Name, n.Value = KindNamespace, "", a.Value
+				default:
+					n.Kind, n.Name, n.Value = KindAttribute, attributeName(a.Name), a.Value
+				}
+				if err := emit(n); err != nil {
+					return err
+				}
+			}
+			stack = append(stack, frame{key: key})
+			sawElement = true
+		case xml.EndElement:
+			if len(stack) <= 1 {
+				return fmt.Errorf("xmldoc: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			text := string(t)
+			if !opts.KeepWhitespace && strings.TrimSpace(text) == "" {
+				continue
+			}
+			key := top.key.Child(flex.Ordinal(top.children))
+			top.children++
+			if err := emit(Node{Key: key, Kind: KindText, Value: text}); err != nil {
+				return err
+			}
+		case xml.Comment:
+			key := top.key.Child(flex.Ordinal(top.children))
+			top.children++
+			if err := emit(Node{Key: key, Kind: KindComment, Value: string(t)}); err != nil {
+				return err
+			}
+		case xml.ProcInst:
+			if t.Target == "xml" {
+				continue // the XML declaration is not a node
+			}
+			key := top.key.Child(flex.Ordinal(top.children))
+			top.children++
+			if err := emit(Node{Key: key, Kind: KindPI, Name: t.Target, Value: string(t.Inst)}); err != nil {
+				return err
+			}
+		case xml.Directive:
+			// DOCTYPE etc. — not part of the XPath data model.
+		}
+	}
+	if len(stack) != 1 {
+		return fmt.Errorf("xmldoc: unexpected EOF inside element")
+	}
+	if !sawElement {
+		return fmt.Errorf("xmldoc: document has no root element")
+	}
+	return nil
+}
+
+// elementName renders a possibly-namespaced element name. VAMANA matches
+// on local names (XMark documents use no namespaces); the namespace URI is
+// preserved for diagnostics by prefixing it in braces, Clark-notation
+// style, only when present.
+func elementName(n xml.Name) string {
+	return n.Local
+}
+
+func attributeName(n xml.Name) string {
+	return n.Local
+}

@@ -1,0 +1,240 @@
+package xmldoc
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"vamana/internal/flex"
+)
+
+const personXML = `<?xml version="1.0"?>
+<site>
+ <person id="person144">
+  <name>Yung Flach</name>
+  <emailaddress>Flach@auth.gr</emailaddress>
+  <address>
+   <street>92 Pfisterer St</street>
+   <city>Monroe</city>
+   <country>United States</country>
+   <zipcode>12</zipcode>
+  </address>
+  <watches>
+   <watch open_auction="open_auction108"/>
+   <watch open_auction="open_auction94"/>
+   <watch open_auction="open_auction110"/>
+  </watches>
+ </person>
+</site>`
+
+func parseAll(t *testing.T, src string, opts Options) []Node {
+	t.Helper()
+	var nodes []Node
+	if err := ParseWith(strings.NewReader(src), opts, func(n Node) error {
+		nodes = append(nodes, n)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return nodes
+}
+
+func TestParsePersonDocument(t *testing.T) {
+	nodes := parseAll(t, personXML, Options{})
+	if nodes[0].Kind != KindDocument || nodes[0].Key != flex.Root {
+		t.Fatalf("first node = %+v, want document at root", nodes[0])
+	}
+	if nodes[1].Kind != KindElement || nodes[1].Name != "site" {
+		t.Fatalf("second node = %+v, want site element", nodes[1])
+	}
+
+	var kinds = map[Kind]int{}
+	var names []string
+	for _, n := range nodes {
+		kinds[n.Kind]++
+		if n.Kind == KindElement {
+			names = append(names, n.Name)
+		}
+	}
+	if kinds[KindElement] != 13 { // site person name emailaddress address street city country zipcode watches watch×3
+		t.Errorf("element count = %d, want 13 (%v)", kinds[KindElement], names)
+	}
+	if kinds[KindAttribute] != 4 { // id + 3×open_auction
+		t.Errorf("attribute count = %d, want 4", kinds[KindAttribute])
+	}
+	if kinds[KindText] != 6 {
+		t.Errorf("text count = %d, want 6", kinds[KindText])
+	}
+}
+
+func TestKeysAreDocumentOrderedAndValid(t *testing.T) {
+	nodes := parseAll(t, personXML, Options{})
+	for i, n := range nodes {
+		if !n.Key.Valid() {
+			t.Fatalf("node %d has invalid key %q", i, n.Key)
+		}
+		if i > 0 && nodes[i-1].Key >= n.Key {
+			t.Fatalf("keys not strictly increasing at %d: %q >= %q", i, nodes[i-1].Key, n.Key)
+		}
+	}
+	// Sorting by key must be a no-op (emission order == document order).
+	sorted := append([]Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	for i := range nodes {
+		if sorted[i].Key != nodes[i].Key {
+			t.Fatalf("key order != emission order at %d", i)
+		}
+	}
+}
+
+func TestParentChildKeyStructure(t *testing.T) {
+	nodes := parseAll(t, personXML, Options{})
+	byName := map[string]Node{}
+	for _, n := range nodes {
+		if n.Kind == KindElement {
+			byName[n.Name] = n
+		}
+	}
+	person, name, street := byName["person"], byName["name"], byName["street"]
+	if name.Key.Parent() != person.Key {
+		t.Fatalf("name parent = %q, want %q", name.Key.Parent(), person.Key)
+	}
+	if !person.Key.IsAncestorOf(street.Key) {
+		t.Fatalf("person %q should be ancestor of street %q", person.Key, street.Key)
+	}
+	if got := person.Key.Parent().Parent(); got != flex.Root {
+		t.Fatalf("person grandparent = %q, want root", got)
+	}
+}
+
+func TestAttributesPrecedeChildren(t *testing.T) {
+	nodes := parseAll(t, personXML, Options{})
+	var personKey flex.Key
+	for _, n := range nodes {
+		if n.Kind == KindElement && n.Name == "person" {
+			personKey = n.Key
+		}
+	}
+	var attrKey, firstChildKey flex.Key
+	for _, n := range nodes {
+		if n.Key.Parent() == personKey {
+			if n.Kind == KindAttribute && attrKey == "" {
+				attrKey = n.Key
+			}
+			if n.Kind == KindElement && firstChildKey == "" {
+				firstChildKey = n.Key
+			}
+		}
+	}
+	if attrKey == "" || firstChildKey == "" {
+		t.Fatal("did not find person attribute and child")
+	}
+	if attrKey >= firstChildKey {
+		t.Fatalf("attribute key %q must precede child key %q", attrKey, firstChildKey)
+	}
+}
+
+func TestWhitespaceHandling(t *testing.T) {
+	src := "<a>  <b>x</b>  </a>"
+	drop := parseAll(t, src, Options{})
+	keep := parseAll(t, src, Options{KeepWhitespace: true})
+	countText := func(ns []Node) int {
+		c := 0
+		for _, n := range ns {
+			if n.Kind == KindText {
+				c++
+			}
+		}
+		return c
+	}
+	if got := countText(drop); got != 1 {
+		t.Errorf("default text nodes = %d, want 1", got)
+	}
+	if got := countText(keep); got != 3 {
+		t.Errorf("KeepWhitespace text nodes = %d, want 3", got)
+	}
+}
+
+func TestCommentsAndPIs(t *testing.T) {
+	src := `<a><!-- hello --><?php echo ?><b/></a>`
+	nodes := parseAll(t, src, Options{})
+	var haveComment, havePI bool
+	for _, n := range nodes {
+		if n.Kind == KindComment && strings.Contains(n.Value, "hello") {
+			haveComment = true
+		}
+		if n.Kind == KindPI && n.Name == "php" {
+			havePI = true
+		}
+	}
+	if !haveComment || !havePI {
+		t.Fatalf("comment=%v pi=%v, want both", haveComment, havePI)
+	}
+}
+
+func TestNamespaceDeclarations(t *testing.T) {
+	src := `<a xmlns="urn:d" xmlns:p="urn:p"><p:b p:x="1"/></a>`
+	nodes := parseAll(t, src, Options{})
+	var nsCount, attrCount int
+	for _, n := range nodes {
+		switch n.Kind {
+		case KindNamespace:
+			nsCount++
+		case KindAttribute:
+			attrCount++
+		}
+	}
+	if nsCount != 2 {
+		t.Errorf("namespace nodes = %d, want 2", nsCount)
+	}
+	if attrCount != 1 {
+		t.Errorf("attribute nodes = %d, want 1", attrCount)
+	}
+}
+
+func TestMalformedXML(t *testing.T) {
+	bad := []string{"<a><b></a>", "<a>", "just text", "", "<a></a><b></b>"}
+	for _, src := range bad {
+		err := Parse(strings.NewReader(src), func(Node) error { return nil })
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEmitErrorStopsParse(t *testing.T) {
+	calls := 0
+	err := Parse(strings.NewReader(personXML), func(Node) error {
+		calls++
+		if calls == 3 {
+			return errStop
+		}
+		return nil
+	})
+	if err != errStop {
+		t.Fatalf("err = %v, want errStop", err)
+	}
+	if calls != 3 {
+		t.Fatalf("emit called %d times after stop", calls)
+	}
+}
+
+var errStop = &stopError{}
+
+type stopError struct{}
+
+func (*stopError) Error() string { return "stop" }
+
+func TestDepthLimit(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 20; i++ {
+		b.WriteString("<d>")
+	}
+	for i := 0; i < 20; i++ {
+		b.WriteString("</d>")
+	}
+	err := ParseWith(strings.NewReader(b.String()), Options{MaxDepth: 10}, func(Node) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("err = %v, want depth error", err)
+	}
+}

@@ -1,0 +1,273 @@
+// Package xpath implements the XPath 1.0 front-end of VAMANA: a lexer, a
+// recursive-descent parser and the abstract syntax tree the plan builder
+// consumes. The supported language covers location paths over all 13
+// axes, abbreviated syntax (//, @, ., ..), value/range/position
+// predicates, the boolean connectives, node-set union, arithmetic, and
+// the core function library the paper's workloads need.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLiteral  // quoted string
+	tokSlash    // /
+	tokSlash2   // //
+	tokLBracket // [
+	tokRBracket // ]
+	tokLParen   // (
+	tokRParen   // )
+	tokAt       // @
+	tokComma    // ,
+	tokAxis     // ::
+	tokDot      // .
+	tokDotDot   // ..
+	tokStar     // *
+	tokPipe     // |
+	tokEq       // =
+	tokNeq      // !=
+	tokLt       // <
+	tokLte      // <=
+	tokGt       // >
+	tokGte      // >=
+	tokPlus     // +
+	tokMinus    // -
+	tokDollar   // $
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of expression"
+	case tokIdent:
+		return "name"
+	case tokNumber:
+		return "number"
+	case tokLiteral:
+		return "literal"
+	case tokSlash:
+		return "'/'"
+	case tokSlash2:
+		return "'//'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokAt:
+		return "'@'"
+	case tokComma:
+		return "','"
+	case tokAxis:
+		return "'::'"
+	case tokDot:
+		return "'.'"
+	case tokDotDot:
+		return "'..'"
+	case tokStar:
+		return "'*'"
+	case tokPipe:
+		return "'|'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLte:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGte:
+		return "'>='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokDollar:
+		return "'$'"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError reports a lexical or grammatical error with its byte offset
+// in the expression.
+type SyntaxError struct {
+	Expr string
+	Pos  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xpath: %s at offset %d in %q", e.Msg, e.Pos, e.Expr)
+}
+
+// lex tokenizes the expression.
+func lex(expr string) ([]token, error) {
+	var toks []token
+	i := 0
+	fail := func(pos int, format string, args ...any) error {
+		return &SyntaxError{Expr: expr, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	}
+	emit := func(k tokenKind, text string, pos int) {
+		toks = append(toks, token{kind: k, text: text, pos: pos})
+	}
+	for i < len(expr) {
+		c := expr[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/':
+			if i+1 < len(expr) && expr[i+1] == '/' {
+				emit(tokSlash2, "//", i)
+				i += 2
+			} else {
+				emit(tokSlash, "/", i)
+				i++
+			}
+		case c == '[':
+			emit(tokLBracket, "[", i)
+			i++
+		case c == ']':
+			emit(tokRBracket, "]", i)
+			i++
+		case c == '(':
+			emit(tokLParen, "(", i)
+			i++
+		case c == ')':
+			emit(tokRParen, ")", i)
+			i++
+		case c == '@':
+			emit(tokAt, "@", i)
+			i++
+		case c == ',':
+			emit(tokComma, ",", i)
+			i++
+		case c == '$':
+			emit(tokDollar, "$", i)
+			i++
+		case c == '|':
+			emit(tokPipe, "|", i)
+			i++
+		case c == '*':
+			emit(tokStar, "*", i)
+			i++
+		case c == '+':
+			emit(tokPlus, "+", i)
+			i++
+		case c == '-':
+			emit(tokMinus, "-", i)
+			i++
+		case c == '=':
+			emit(tokEq, "=", i)
+			i++
+		case c == '!':
+			if i+1 < len(expr) && expr[i+1] == '=' {
+				emit(tokNeq, "!=", i)
+				i += 2
+			} else {
+				return nil, fail(i, "unexpected '!'")
+			}
+		case c == '<':
+			if i+1 < len(expr) && expr[i+1] == '=' {
+				emit(tokLte, "<=", i)
+				i += 2
+			} else {
+				emit(tokLt, "<", i)
+				i++
+			}
+		case c == '>':
+			if i+1 < len(expr) && expr[i+1] == '=' {
+				emit(tokGte, ">=", i)
+				i += 2
+			} else {
+				emit(tokGt, ">", i)
+				i++
+			}
+		case c == ':':
+			if i+1 < len(expr) && expr[i+1] == ':' {
+				emit(tokAxis, "::", i)
+				i += 2
+			} else {
+				return nil, fail(i, "unexpected ':' (did you mean '::'?)")
+			}
+		case c == '.':
+			switch {
+			case i+1 < len(expr) && expr[i+1] == '.':
+				emit(tokDotDot, "..", i)
+				i += 2
+			case i+1 < len(expr) && isDigit(expr[i+1]):
+				start := i
+				i++
+				for i < len(expr) && isDigit(expr[i]) {
+					i++
+				}
+				emit(tokNumber, expr[start:i], start)
+			default:
+				emit(tokDot, ".", i)
+				i++
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			start := i
+			i++
+			j := strings.IndexByte(expr[i:], quote)
+			if j < 0 {
+				return nil, fail(start, "unterminated string literal")
+			}
+			emit(tokLiteral, expr[i:i+j], start)
+			i += j + 1
+		case isDigit(c):
+			start := i
+			for i < len(expr) && isDigit(expr[i]) {
+				i++
+			}
+			if i < len(expr) && expr[i] == '.' {
+				i++
+				for i < len(expr) && isDigit(expr[i]) {
+					i++
+				}
+			}
+			emit(tokNumber, expr[start:i], start)
+		case isNameStart(rune(c)):
+			start := i
+			for i < len(expr) && isNameChar(rune(expr[i])) {
+				i++
+			}
+			emit(tokIdent, expr[start:i], start)
+		default:
+			return nil, fail(i, "unexpected character %q", c)
+		}
+	}
+	emit(tokEOF, "", len(expr))
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

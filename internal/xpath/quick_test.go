@@ -1,0 +1,104 @@
+package xpath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRoundTripStability: for randomly generated expressions, String()
+// output re-parses to an AST whose rendering is identical (a fixpoint
+// after one round trip). This pins the parser and printer against each
+// other across the whole grammar.
+func TestRoundTripStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 3000; i++ {
+		expr := randomExpr(rng, 0)
+		e1, err := Parse(expr)
+		if err != nil {
+			t.Fatalf("generated expression does not parse: %q: %v", expr, err)
+		}
+		r1 := e1.String()
+		e2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("rendering does not re-parse: %q (from %q): %v", r1, expr, err)
+		}
+		if r2 := e2.String(); r1 != r2 {
+			t.Fatalf("round trip unstable:\n orig: %q\n r1:   %q\n r2:   %q", expr, r1, r2)
+		}
+	}
+}
+
+var rtNames = []string{"person", "address", "name", "a", "b-c", "x_1"}
+var rtAxes = []string{
+	"child", "descendant", "descendant-or-self", "parent", "ancestor",
+	"ancestor-or-self", "following", "following-sibling", "preceding",
+	"preceding-sibling", "self", "attribute",
+}
+var rtFuncs = []string{"count", "not", "string", "number", "boolean", "normalize-space"}
+
+// randomExpr generates a syntactically valid XPath expression.
+func randomExpr(rng *rand.Rand, depth int) string {
+	if depth > 3 {
+		return rtNames[rng.Intn(len(rtNames))]
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return randomPath(rng, depth)
+	case 1:
+		return "'" + rtNames[rng.Intn(len(rtNames))] + "'"
+	case 2:
+		return []string{"0", "1", "42", "3.5", "100"}[rng.Intn(5)]
+	case 3:
+		op := []string{"=", "!=", "<", "<=", ">", ">=", "and", "or", "+", "-", "*", "div", "mod"}[rng.Intn(13)]
+		return randomExpr(rng, depth+1) + " " + op + " " + randomExpr(rng, depth+1)
+	case 4:
+		return rtFuncs[rng.Intn(len(rtFuncs))] + "(" + randomPath(rng, depth+1) + ")"
+	case 5:
+		return randomPath(rng, depth) + " | " + randomPath(rng, depth+1)
+	case 6:
+		return "position() = " + []string{"1", "2", "last()"}[rng.Intn(3)]
+	default:
+		return randomPath(rng, depth)
+	}
+}
+
+func randomPath(rng *rand.Rand, depth int) string {
+	var out string
+	if rng.Intn(2) == 0 {
+		out = "//"
+	} else if rng.Intn(2) == 0 {
+		out = "/"
+	}
+	steps := 1 + rng.Intn(3)
+	for i := 0; i < steps; i++ {
+		if i > 0 {
+			if rng.Intn(4) == 0 {
+				out += "//"
+			} else {
+				out += "/"
+			}
+		}
+		out += randomStep(rng, depth)
+	}
+	return out
+}
+
+func randomStep(rng *rand.Rand, depth int) string {
+	var step string
+	switch rng.Intn(6) {
+	case 0:
+		step = rtAxes[rng.Intn(len(rtAxes))] + "::" + rtNames[rng.Intn(len(rtNames))]
+	case 1:
+		step = "@" + rtNames[rng.Intn(len(rtNames))]
+	case 2:
+		step = "*"
+	case 3:
+		step = "text()"
+	default:
+		step = rtNames[rng.Intn(len(rtNames))]
+	}
+	if depth < 3 && rng.Intn(3) == 0 {
+		step += "[" + randomExpr(rng, depth+2) + "]"
+	}
+	return step
+}

@@ -1,0 +1,139 @@
+package vamana
+
+import (
+	"testing"
+)
+
+// TestPublicUpdateAPI drives the update surface end to end: mutate,
+// query, verify that plans see fresh statistics.
+func TestPublicUpdateAPI(t *testing.T) {
+	db := openDB(t)
+	doc, err := db.LoadXMLString("d", `<inventory><shelf/></inventory>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := db.Compile("//shelf")
+	res, _ := q.Execute(doc)
+	shelves, _ := res.Keys()
+	if len(shelves) != 1 {
+		t.Fatal("setup failed")
+	}
+	shelf := shelves[0]
+
+	// Build content via the update API alone.
+	for i := 0; i < 10; i++ {
+		book, err := doc.InsertElement(shelf, -1, "book")
+		if err != nil {
+			t.Fatal(err)
+		}
+		title, err := doc.InsertElement(book, -1, "title")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := doc.InsertText(title, -1, "Systems Title"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := doc.InsertAttribute(book, "isbn", "900-"+string(rune('0'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := doc.CountName("book"); n != 10 {
+		t.Fatalf("CountName(book) = %d", n)
+	}
+	if tc, _ := doc.TextCount("Systems Title"); tc != 10 {
+		t.Fatalf("TextCount = %d", tc)
+	}
+
+	// Queries see the new content, including attribute predicates.
+	qb, _ := db.CompileOptimized(doc, "//book[title='Systems Title']")
+	rb, _ := qb.Execute(doc)
+	books, err := rb.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(books) != 10 {
+		t.Fatalf("books via query = %d", len(books))
+	}
+
+	// Update one title and delete one book.
+	qt, _ := db.Compile("//book[1]/title/text()")
+	rt, _ := qt.Execute(doc)
+	titles, _ := rt.Keys()
+	if len(titles) != 1 {
+		t.Fatalf("first book titles = %d", len(titles))
+	}
+	if err := doc.UpdateText(titles[0], "Revised Title"); err != nil {
+		t.Fatal(err)
+	}
+	if tc, _ := doc.TextCount("Systems Title"); tc != 9 {
+		t.Fatalf("TC after update = %d", tc)
+	}
+	if err := doc.DeleteSubtree(books[len(books)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := doc.CountName("book"); n != 9 {
+		t.Fatalf("books after delete = %d", n)
+	}
+	if err := doc.RenameElement(shelf, "case"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := doc.CountName("case"); n != 1 {
+		t.Fatalf("CountName(case) = %d", n)
+	}
+}
+
+// TestOptimizerSeesUpdatedStatistics: after mutations change which
+// operator is the most selective, re-optimizing the same expression picks
+// a different plan — the payoff of statistics that never go stale.
+func TestOptimizerSeesUpdatedStatistics(t *testing.T) {
+	db := openDB(t)
+	doc, err := db.LoadXMLString("d", `<r><people><person><tag/></person></people><dump/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make "tag" vastly more common than "person": the parent-inversion
+	// rewrite of //tag/parent::person is then profitable.
+	q, _ := db.Compile("//dump")
+	res, _ := q.Execute(doc)
+	dumpKeys, _ := res.Keys()
+	dump := dumpKeys[0]
+	for i := 0; i < 200; i++ {
+		if _, err := doc.InsertElement(dump, -1, "tag"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	expr := "//tag/parent::person"
+	before, err := db.CompileOptimized(doc, expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exBefore, _ := before.Explain(doc)
+
+	// Results stay correct either way.
+	rb, _ := before.Execute(doc)
+	kb, _ := rb.Keys()
+	if len(kb) != 1 {
+		t.Fatalf("persons with tag = %d", len(kb))
+	}
+
+	// Now invert the skew: many persons, few tags.
+	for i := 0; i < 200; i++ {
+		if _, err := doc.InsertElement(dump, -1, "person"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := db.CompileOptimized(doc, expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exAfter, _ := after.Explain(doc)
+	if exBefore == exAfter {
+		t.Fatalf("optimizer ignored a 400-element statistics shift:\n%s", exAfter)
+	}
+	ra, _ := after.Execute(doc)
+	ka, _ := ra.Keys()
+	if len(ka) != 1 {
+		t.Fatalf("persons with tag after updates = %d", len(ka))
+	}
+}

@@ -1,0 +1,373 @@
+// Package vamana is a scalable, cost-driven XPath engine — a Go
+// implementation of the VAMANA system (Raghavan, Deschler, Rundensteiner;
+// ICDE 2005).
+//
+// VAMANA stores XML documents in MASS, a multi-axis storage structure
+// built on counted B+-trees over FLEX structural keys, and evaluates
+// XPath 1.0 expressions with index-only, pipelined query plans. A
+// cost-driven, rule-based optimizer rewrites plans using exact statistics
+// probed directly from the indexes, so cost information stays correct
+// under document updates with no histogram maintenance.
+//
+// # Quick start
+//
+//	db, err := vamana.Open(vamana.Options{}) // in-memory store
+//	defer db.Close()
+//	doc, err := db.LoadXML("auction", file)
+//	q, err := db.CompileOptimized(doc, "//person/address")
+//	res, err := q.Execute(doc)
+//	for res.Next() {
+//		n, _ := res.Node()
+//		fmt.Println(n.Name, n.Value)
+//	}
+//
+// All 13 XPath axes are supported, along with value, range and position
+// predicates, node-set union, and the XPath 1.0 core function library.
+package vamana
+
+import (
+	"fmt"
+	"io"
+
+	"vamana/internal/core"
+	"vamana/internal/exec"
+	"vamana/internal/flex"
+	"vamana/internal/mass"
+	"vamana/internal/xmldoc"
+)
+
+// Options configures a database.
+type Options struct {
+	// Path is the backing page file for the MASS store. Empty keeps the
+	// whole store in memory. A file-backed store persists across Open
+	// calls.
+	Path string
+	// CachePages bounds the in-memory index page cache of a file-backed
+	// store (8 KiB pages; the working set beyond it is read from disk on
+	// demand). 0 selects a default of ~6K pages. This is the knob that
+	// keeps memory flat however large the documents grow.
+	CachePages int
+}
+
+// DB is a VAMANA database: a MASS store holding any number of indexed XML
+// documents plus the query pipeline. It is safe for concurrent use.
+type DB struct {
+	engine *core.Engine
+}
+
+// Open creates or reopens a database.
+func Open(opts Options) (*DB, error) {
+	e, err := core.Open(core.Options{Path: opts.Path, CachePages: opts.CachePages})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{engine: e}, nil
+}
+
+// Close flushes indexes and releases the store.
+func (db *DB) Close() error { return db.engine.Close() }
+
+// Document is a handle to one loaded document.
+type Document struct {
+	db   *DB
+	id   mass.DocID
+	name string
+}
+
+// LoadXML shreds and indexes the XML document from r under a unique name.
+// Loading is streaming; memory use does not grow with document size.
+func (db *DB) LoadXML(name string, r io.Reader) (*Document, error) {
+	id, err := db.engine.Load(name, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{db: db, id: id, name: name}, nil
+}
+
+// LoadXMLString is LoadXML from a string.
+func (db *DB) LoadXMLString(name, src string) (*Document, error) {
+	id, err := db.engine.LoadString(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{db: db, id: id, name: name}, nil
+}
+
+// Document returns the handle for a previously loaded document.
+func (db *DB) Document(name string) (*Document, error) {
+	id, ok := db.engine.Store().DocID(name)
+	if !ok {
+		return nil, fmt.Errorf("vamana: no document named %q", name)
+	}
+	return &Document{db: db, id: id, name: name}, nil
+}
+
+// Documents lists the loaded document names.
+func (db *DB) Documents() []string { return db.engine.Store().Documents() }
+
+// Drop removes a document and all its index entries.
+func (db *DB) Drop(name string) error { return db.engine.Store().DropDocument(name) }
+
+// Name returns the document's registered name.
+func (d *Document) Name() string { return d.name }
+
+// NodeKind classifies result nodes, following the XPath data model.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	KindDocument  = NodeKind(xmldoc.KindDocument)
+	KindElement   = NodeKind(xmldoc.KindElement)
+	KindAttribute = NodeKind(xmldoc.KindAttribute)
+	KindText      = NodeKind(xmldoc.KindText)
+	KindComment   = NodeKind(xmldoc.KindComment)
+	KindPI        = NodeKind(xmldoc.KindPI)
+	KindNamespace = NodeKind(xmldoc.KindNamespace)
+)
+
+// String returns the kind's XPath-ish name.
+func (k NodeKind) String() string { return xmldoc.Kind(k).String() }
+
+// Node is one result node. Key is its FLEX structural key: a dotted,
+// lexicographically document-ordered identifier ("a.d.y.c") that remains
+// stable under sibling insertions.
+type Node struct {
+	Key   string
+	Kind  NodeKind
+	Name  string
+	Value string
+}
+
+// Query is a compiled XPath expression. Compile produces the default plan
+// (the paper's "VQP"); CompileOptimized runs the cost-driven optimizer
+// ("VQP-OPT"). A query may be executed many times and against any
+// document, though an optimized plan's rewrites were chosen using the
+// statistics of the document passed to CompileOptimized.
+type Query struct {
+	q *core.Query
+}
+
+// Compile parses expr into its default (unoptimized) query plan.
+func (db *DB) Compile(expr string) (*Query, error) {
+	q, err := db.engine.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// CompileOptimized parses expr and optimizes its plan against doc's live
+// index statistics. The resulting plan is guaranteed to have estimated
+// cost no worse than the default plan's.
+func (db *DB) CompileOptimized(doc *Document, expr string) (*Query, error) {
+	q, err := db.engine.CompileOptimized(doc.id, expr)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// Expr returns the query's source expression.
+func (q *Query) Expr() string { return q.q.Expr() }
+
+// Optimized reports whether the cost-driven optimizer ran on this query.
+func (q *Query) Optimized() bool { return q.q.Optimized() }
+
+// Explain renders the cost-annotated physical plan, the ordered operator
+// list L(P), and (for optimized queries) the rewrite decisions taken.
+func (q *Query) Explain(doc *Document) (string, error) {
+	return q.q.Explain(doc.id)
+}
+
+// ExplainAnalyze estimates, executes, and renders the plan with estimated
+// bounds next to the actual per-operator tuple counts observed during
+// execution.
+func (q *Query) ExplainAnalyze(doc *Document) (string, error) {
+	return q.q.ExplainAnalyze(doc.id)
+}
+
+// Execute runs the query against doc with the document root as the
+// initial context node. Results stream; nothing is materialized beyond
+// the duplicate-elimination set.
+func (q *Query) Execute(doc *Document) (*Results, error) {
+	it, err := q.q.Execute(doc.id)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{doc: doc, it: it}, nil
+}
+
+// ExecuteOrdered runs the query and delivers results in document order.
+// The result set is materialized and sorted first; prefer Execute when
+// streaming delivery matters more than ordering (reverse axes otherwise
+// stream in axis order).
+func (q *Query) ExecuteOrdered(doc *Document) (*Results, error) {
+	it, err := q.q.ExecuteOrdered(doc.id)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{doc: doc, it: it}, nil
+}
+
+// ExecuteFrom runs the query with an explicit initial context node (a
+// FLEX key previously obtained from a result) and optional variable
+// bindings for $name references.
+func (q *Query) ExecuteFrom(doc *Document, startKey string, vars map[string][]string) (*Results, error) {
+	var v map[string][]flex.Key
+	if vars != nil {
+		v = make(map[string][]flex.Key, len(vars))
+		for name, keys := range vars {
+			ks := make([]flex.Key, len(keys))
+			for i, k := range keys {
+				ks[i] = flex.Key(k)
+			}
+			v[name] = ks
+		}
+	}
+	it, err := q.q.ExecuteFrom(doc.id, flex.Key(startKey), v)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{doc: doc, it: it}, nil
+}
+
+// Results streams a query's result node set.
+type Results struct {
+	doc *Document
+	it  *exec.Iterator
+}
+
+// Next advances to the next result and reports whether one exists.
+func (r *Results) Next() bool { return r.it.Next() }
+
+// Key returns the current result's FLEX key without touching storage.
+func (r *Results) Key() string { return string(r.it.Key()) }
+
+// Node materializes the current result node from storage.
+func (r *Results) Node() (Node, error) {
+	n, err := r.it.Node()
+	if err != nil {
+		return Node{}, err
+	}
+	return Node{Key: string(n.Key), Kind: NodeKind(n.Kind), Name: n.Name, Value: n.Value}, nil
+}
+
+// StringValue computes the XPath string-value of the current result (for
+// elements, the concatenated descendant text).
+func (r *Results) StringValue() (string, error) {
+	return r.doc.StringValue(r.Key())
+}
+
+// Err reports the first error encountered while streaming.
+func (r *Results) Err() error { return r.it.Err() }
+
+// Keys drains the results into a slice of FLEX keys.
+func (r *Results) Keys() ([]string, error) {
+	var out []string
+	for r.Next() {
+		out = append(out, r.Key())
+	}
+	return out, r.Err()
+}
+
+// Stats exposes a document's exact index statistics — the same probes the
+// cost model uses (counts are O(log n), no data pages touched).
+type Stats struct {
+	Nodes    uint64
+	Elements uint64
+	Texts    uint64
+}
+
+// Stats returns node-count statistics for the document.
+func (d *Document) Stats() (Stats, error) {
+	s := d.db.engine.Store()
+	var st Stats
+	var err error
+	if st.Nodes, err = s.CountNodes(d.id); err != nil {
+		return st, err
+	}
+	if st.Elements, err = s.CountElements(d.id, ""); err != nil {
+		return st, err
+	}
+	st.Texts, err = s.CountTexts(d.id, "")
+	return st, err
+}
+
+// CountName returns the number of elements with the given name — COUNT in
+// the paper's cost model.
+func (d *Document) CountName(name string) (uint64, error) {
+	return d.db.engine.Store().CountName(d.id, name)
+}
+
+// TextCount returns the number of text nodes whose value equals v — TC in
+// the paper's cost model.
+func (d *Document) TextCount(v string) (uint64, error) {
+	return d.db.engine.Store().TextCount(d.id, v, "")
+}
+
+// StringValue computes the XPath string-value of the node with the given
+// FLEX key.
+func (d *Document) StringValue(key string) (string, error) {
+	return d.db.engine.Store().StringValue(d.id, flex.Key(key))
+}
+
+// InsertElement inserts a new element named name as a content child of
+// the node at parentKey, at position pos among existing content children
+// (negative or past-the-end appends). Indexes and statistics update
+// immediately: the next CountName probe already reflects the insert —
+// VAMANA's cost model never goes stale under updates.
+func (d *Document) InsertElement(parentKey string, pos int, name string) (string, error) {
+	k, err := d.db.engine.Store().InsertElement(d.id, flex.Key(parentKey), pos, name)
+	return string(k), err
+}
+
+// InsertText inserts a new text node under parentKey (see InsertElement).
+func (d *Document) InsertText(parentKey string, pos int, value string) (string, error) {
+	k, err := d.db.engine.Store().InsertText(d.id, flex.Key(parentKey), pos, value)
+	return string(k), err
+}
+
+// InsertAttribute adds an attribute to the element at ownerKey.
+func (d *Document) InsertAttribute(ownerKey, name, value string) (string, error) {
+	k, err := d.db.engine.Store().InsertAttribute(d.id, flex.Key(ownerKey), name, value)
+	return string(k), err
+}
+
+// UpdateText replaces the value of a text or attribute node, keeping the
+// value index (TC statistics) exact.
+func (d *Document) UpdateText(key, newValue string) error {
+	return d.db.engine.Store().UpdateText(d.id, flex.Key(key), newValue)
+}
+
+// RenameElement changes an element's name, maintaining the name index.
+func (d *Document) RenameElement(key, newName string) error {
+	return d.db.engine.Store().RenameElement(d.id, flex.Key(key), newName)
+}
+
+// DeleteSubtree removes the node at key and its entire subtree.
+func (d *Document) DeleteSubtree(key string) error {
+	return d.db.engine.Store().DeleteSubtree(d.id, flex.Key(key))
+}
+
+// WriteXML serializes the node at key (and its subtree) as XML to w.
+// Passing the root key of a query result exports matched fragments;
+// passing "a" (the document node) exports the whole document.
+func (d *Document) WriteXML(key string, w io.Writer) error {
+	return d.db.engine.Store().SerializeSubtree(d.id, flex.Key(key), w)
+}
+
+// NumericRangeCount returns the number of text nodes whose numeric value
+// lies in [lo, hi] (use math.Inf for open ends) — an O(log n) probe of
+// the numeric value index backing range predicates.
+func (d *Document) NumericRangeCount(lo, hi float64) (uint64, error) {
+	return d.db.engine.Store().NumericRangeCount(d.id, lo, true, hi, true)
+}
+
+// Node fetches the node with the given FLEX key.
+func (d *Document) Node(key string) (Node, bool, error) {
+	n, ok, err := d.db.engine.Store().Node(d.id, flex.Key(key))
+	if err != nil || !ok {
+		return Node{}, ok, err
+	}
+	return Node{Key: string(n.Key), Kind: NodeKind(n.Kind), Name: n.Name, Value: n.Value}, true, nil
+}
