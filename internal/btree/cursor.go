@@ -159,6 +159,21 @@ func (c *Cursor) Value() ([]byte, error) {
 	return c.t.readValue(c.leaf.vals[c.idx])
 }
 
+// ValueView returns the current entry's value without copying when it is
+// stored inline (overflow chains are still materialized). The slice is
+// owned by the tree and valid only until the cursor moves or the tree is
+// mutated; callers must not retain or modify it.
+func (c *Cursor) ValueView() ([]byte, error) {
+	if !c.valid {
+		return nil, nil
+	}
+	lv := c.leaf.vals[c.idx]
+	if lv.isOverflow() {
+		return c.t.readValue(lv)
+	}
+	return lv.inline, nil
+}
+
 // InRange reports whether the cursor is valid and its key is < hi (hi nil
 // means unbounded). A convenience for half-open range scans.
 func (c *Cursor) InRange(hi []byte) bool {
@@ -167,3 +182,7 @@ func (c *Cursor) InRange(hi []byte) bool {
 
 // NewCursor returns an unpositioned cursor; call one of the Seek methods.
 func (t *Tree) NewCursor() *Cursor { return &Cursor{t: t} }
+
+// Reset re-targets c at tree t, clearing any position and error, so one
+// cursor allocation can be reused across many scans.
+func (c *Cursor) Reset(t *Tree) { *c = Cursor{t: t} }

@@ -26,11 +26,21 @@ type Options struct {
 	// CachePages bounds the index page cache for file-backed stores
 	// (see mass.Options.CachePages). 0 selects the default.
 	CachePages int
+	// PlanCacheSize bounds the number of compiled plans the serving fast
+	// path keeps (see Engine.Query). 0 selects the default (256);
+	// negative disables plan caching.
+	PlanCacheSize int
 }
 
 // Engine is a VAMANA instance: one MASS store plus the query pipeline.
 type Engine struct {
 	store *mass.Store
+	// probes memoizes statistics probes per (document, epoch), shared by
+	// every optimization and estimation this engine runs.
+	probes *cost.MemoProbes
+	// plans is the serving fast path's compiled-plan cache; nil when
+	// disabled.
+	plans *planCache
 }
 
 // Open creates or reopens an engine.
@@ -39,7 +49,11 @@ func Open(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{store: s}, nil
+	e := &Engine{store: s, probes: cost.NewMemoProbes(s)}
+	if opts.PlanCacheSize >= 0 {
+		e.plans = newPlanCache(opts.PlanCacheSize)
+	}
+	return e, nil
 }
 
 // Store exposes the underlying MASS store (used by the benchmark harness
@@ -90,8 +104,9 @@ func (e *Engine) CompileOptimized(doc mass.DocID, expr string) (*Query, error) {
 		return nil, err
 	}
 	o := &opt.Optimizer{
-		Store: e.store,
-		Doc:   doc,
+		Store:  e.store,
+		Doc:    doc,
+		Probes: e.probes,
 		Trace: func(format string, args ...any) {
 			q.trace = append(q.trace, fmt.Sprintf(format, args...))
 		},
@@ -103,6 +118,71 @@ func (e *Engine) CompileOptimized(doc mass.DocID, expr string) (*Query, error) {
 	q.plan = optPlan
 	q.optimized = true
 	return q, nil
+}
+
+// CompileCached returns a compiled query for expr, consulting the plan
+// cache first. Unoptimized plans depend only on the expression and are
+// shared across documents; optimized plans are keyed by document and
+// validated against the document's statistics epoch, so any update to the
+// document transparently forces a recompile against fresh statistics.
+func (e *Engine) CompileCached(doc mass.DocID, expr string, optimized bool) (*Query, error) {
+	if e.plans == nil {
+		if optimized {
+			return e.CompileOptimized(doc, expr)
+		}
+		return e.Compile(expr)
+	}
+	k := planKey{expr: expr, optimized: optimized}
+	var epoch uint64
+	if optimized {
+		k.doc = doc
+		// Capture the epoch before compiling: if an update lands while the
+		// optimizer is probing, the entry records the pre-update epoch and
+		// the next lookup recompiles — conservative but always correct.
+		epoch = e.store.Epoch(doc)
+	}
+	if q, ok := e.plans.get(k, epoch); ok {
+		return q, nil
+	}
+	var (
+		q   *Query
+		err error
+	)
+	if optimized {
+		q, err = e.CompileOptimized(doc, expr)
+	} else {
+		q, err = e.Compile(expr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.plans.put(k, q, epoch)
+	return q, nil
+}
+
+// Query is the one-shot serving fast path: compile expr with the
+// cost-driven optimizer (through the plan cache) and execute it against
+// doc. Steady-state serving of a repeated query costs one cache lookup
+// plus execution — no parsing, no optimization, no statistics probes.
+func (e *Engine) Query(doc mass.DocID, expr string) (*exec.Iterator, error) {
+	q, err := e.CompileCached(doc, expr, true)
+	if err != nil {
+		return nil, err
+	}
+	return q.Execute(doc)
+}
+
+// CacheStats reports plan-cache and statistics-memo counters.
+func (e *Engine) CacheStats() CacheStats {
+	var st CacheStats
+	if e.plans != nil {
+		st.Hits = e.plans.hits.Load()
+		st.Misses = e.plans.misses.Load()
+		st.Evictions = e.plans.evictions.Load()
+		st.Invalidations = e.plans.invalidations.Load()
+	}
+	st.ProbeHits, st.ProbeMisses = e.probes.Stats()
+	return st
 }
 
 // Expr returns the source expression.
@@ -118,20 +198,28 @@ func (q *Query) Plan() *plan.Plan { return q.plan }
 // Trace returns the optimizer's decision log.
 func (q *Query) Trace() []string { return q.trace }
 
-// Estimate annotates the plan with cost information for doc without
-// executing it.
-func (q *Query) Estimate(doc mass.DocID) error {
-	est := &cost.Estimator{Store: q.engine.store, Doc: doc}
-	return est.Estimate(q.plan)
+// Estimate annotates a copy of the plan with cost information for doc
+// without executing it, and returns the annotated copy. The query's own
+// plan is never written after compilation — a Query is immutable and safe
+// for concurrent use by any number of goroutines (which is what lets the
+// engine's plan cache share one Query across a serving fleet).
+func (q *Query) Estimate(doc mass.DocID) (*plan.Plan, error) {
+	p := q.plan.Clone()
+	est := &cost.Estimator{Store: q.engine.probes, Doc: doc}
+	if err := est.Estimate(p); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // Explain renders the cost-annotated plan and ordered list for doc.
 func (q *Query) Explain(doc mass.DocID) (string, error) {
-	if err := q.Estimate(doc); err != nil {
+	p, err := q.Estimate(doc)
+	if err != nil {
 		return "", err
 	}
 	out := fmt.Sprintf("query: %s\noptimized: %v\n", q.expr, q.optimized)
-	out += opt.Explain(q.plan)
+	out += opt.Explain(p)
 	for _, line := range q.trace {
 		out += "rewrite: " + line + "\n"
 	}
@@ -141,12 +229,15 @@ func (q *Query) Explain(doc mass.DocID) (string, error) {
 // ExplainAnalyze estimates the plan, executes it to completion, and
 // renders estimated bounds next to actual per-operator tuple counts —
 // the empirical check that the cost model's OUT values really are upper
-// bounds.
+// bounds. The annotated clone is what executes, so the per-operator stats
+// refer to operators carrying fresh estimates while the shared plan stays
+// untouched.
 func (q *Query) ExplainAnalyze(doc mass.DocID) (string, error) {
-	if err := q.Estimate(doc); err != nil {
+	p, err := q.Estimate(doc)
+	if err != nil {
 		return "", err
 	}
-	it, err := q.Execute(doc)
+	it, err := exec.Run(p, exec.Context{Store: q.engine.store, Doc: doc})
 	if err != nil {
 		return "", err
 	}
@@ -158,7 +249,7 @@ func (q *Query) ExplainAnalyze(doc mass.DocID) (string, error) {
 		return "", err
 	}
 	out := fmt.Sprintf("query: %s\noptimized: %v\nresults: %d\n", q.expr, q.optimized, results)
-	out += q.plan.String()
+	out += p.String()
 	out += "actual tuple counts (context path and predicate steps):\n"
 	for _, st := range it.Stats() {
 		c := st.Op.Cost

@@ -151,11 +151,15 @@ func TestEstimateOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 	q, _ := e.Compile("//x")
-	if err := q.Estimate(d); err != nil {
+	p, err := q.Estimate(d)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !q.Plan().Root.Cost.Done {
-		t.Fatal("Estimate did not annotate the plan")
+	if !p.Root.Cost.Done {
+		t.Fatal("Estimate did not annotate the returned plan")
+	}
+	if q.Plan().Root.Cost.Done {
+		t.Fatal("Estimate mutated the query's shared plan")
 	}
 	_ = flex.Root
 }

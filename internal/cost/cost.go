@@ -20,13 +20,27 @@ import (
 	"fmt"
 	"sort"
 
+	"vamana/internal/flex"
 	"vamana/internal/mass"
 	"vamana/internal/plan"
 )
 
+// Probes is the statistics interface the estimator consumes: the exact
+// counted-index probes of §VI-B. *mass.Store implements it directly;
+// MemoProbes wraps a store with an epoch-validated cache so repeated
+// estimations of the same document between updates reuse results.
+type Probes interface {
+	TestCount(d mass.DocID, test mass.NodeTest, ctx flex.Key) (uint64, error)
+	TextCount(d mass.DocID, v string, ctx flex.Key) (uint64, error)
+	AttrValueCount(d mass.DocID, v string, ctx flex.Key) (uint64, error)
+	CountAttrName(d mass.DocID, name string) (uint64, error)
+	CountNodes(d mass.DocID) (uint64, error)
+	NumericRangeCount(d mass.DocID, lo float64, loIncl bool, hi float64, hiIncl bool) (uint64, error)
+}
+
 // Estimator annotates plans with cost information for one document.
 type Estimator struct {
-	Store *mass.Store
+	Store Probes
 	Doc   mass.DocID
 	// Probes counts index statistics probes issued, exposing how cheap
 	// costing is (reported by the optimization-overhead experiment).

@@ -1,0 +1,141 @@
+package cost
+
+import (
+	"sync"
+
+	"vamana/internal/flex"
+	"vamana/internal/mass"
+)
+
+// maxMemoEntries bounds one document's memo; when a generation fills up it
+// is discarded wholesale (the next probes rebuild it), keeping the memory
+// footprint of a long-lived serving process flat.
+const maxMemoEntries = 4096
+
+// MemoProbes caches statistics probes per document, validated against the
+// store's per-document statistics epoch: any update to a document bumps
+// its epoch, which atomically invalidates every memoized count for it.
+// Between updates the cache is exact — VAMANA's statistics are live index
+// counts, so two probes with the same arguments within one epoch must
+// agree.
+//
+// The query-serving fast path relies on this: compiling or re-optimizing
+// a query issues dozens of probes, and a cached plan's validity check is
+// itself epoch-based, so steady-state serving touches the counted indexes
+// not at all. MemoProbes is safe for concurrent use.
+type MemoProbes struct {
+	store *mass.Store
+
+	mu     sync.Mutex
+	docs   map[mass.DocID]*docMemo
+	hits   uint64
+	misses uint64
+}
+
+type docMemo struct {
+	epoch  uint64
+	counts map[probeKey]uint64
+}
+
+// probeKey identifies one probe's arguments across all probe kinds; unused
+// fields stay at their zero values.
+type probeKey struct {
+	kind           uint8
+	testType       mass.TestType
+	name           string
+	attr           string
+	ctx            flex.Key
+	lo, hi         float64
+	loIncl, hiIncl bool
+}
+
+const (
+	probeTest uint8 = iota
+	probeText
+	probeAttrValue
+	probeAttrName
+	probeNodes
+	probeNumRange
+)
+
+// NewMemoProbes returns a memoizing statistics source over store.
+func NewMemoProbes(store *mass.Store) *MemoProbes {
+	return &MemoProbes{store: store, docs: make(map[mass.DocID]*docMemo)}
+}
+
+// Stats reports cache hits and misses since creation.
+func (m *MemoProbes) Stats() (hits, misses uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
+
+// get serves key from d's current-epoch memo or computes it via probe.
+func (m *MemoProbes) get(d mass.DocID, key probeKey, probe func() (uint64, error)) (uint64, error) {
+	if d == 0 {
+		// Whole-database statistics span every document's epoch; not worth
+		// the bookkeeping to invalidate, so always probe.
+		return probe()
+	}
+	epoch := m.store.Epoch(d)
+	m.mu.Lock()
+	dm := m.docs[d]
+	if dm == nil || dm.epoch != epoch {
+		dm = &docMemo{epoch: epoch, counts: make(map[probeKey]uint64)}
+		m.docs[d] = dm
+	}
+	if v, ok := dm.counts[key]; ok {
+		m.hits++
+		m.mu.Unlock()
+		return v, nil
+	}
+	m.misses++
+	m.mu.Unlock()
+
+	v, err := probe()
+	if err != nil {
+		return 0, err
+	}
+
+	m.mu.Lock()
+	// Re-check: an update may have advanced the epoch while probing, in
+	// which case the result belongs to a dead generation and is dropped.
+	if dm := m.docs[d]; dm != nil && dm.epoch == epoch && m.store.Epoch(d) == epoch {
+		if len(dm.counts) >= maxMemoEntries {
+			dm.counts = make(map[probeKey]uint64)
+		}
+		dm.counts[key] = v
+	}
+	m.mu.Unlock()
+	return v, nil
+}
+
+func (m *MemoProbes) TestCount(d mass.DocID, test mass.NodeTest, ctx flex.Key) (uint64, error) {
+	key := probeKey{kind: probeTest, testType: test.Type, name: test.Name, attr: test.Attr, ctx: ctx}
+	return m.get(d, key, func() (uint64, error) { return m.store.TestCount(d, test, ctx) })
+}
+
+func (m *MemoProbes) TextCount(d mass.DocID, v string, ctx flex.Key) (uint64, error) {
+	key := probeKey{kind: probeText, name: v, ctx: ctx}
+	return m.get(d, key, func() (uint64, error) { return m.store.TextCount(d, v, ctx) })
+}
+
+func (m *MemoProbes) AttrValueCount(d mass.DocID, v string, ctx flex.Key) (uint64, error) {
+	key := probeKey{kind: probeAttrValue, name: v, ctx: ctx}
+	return m.get(d, key, func() (uint64, error) { return m.store.AttrValueCount(d, v, ctx) })
+}
+
+func (m *MemoProbes) CountAttrName(d mass.DocID, name string) (uint64, error) {
+	key := probeKey{kind: probeAttrName, name: name}
+	return m.get(d, key, func() (uint64, error) { return m.store.CountAttrName(d, name) })
+}
+
+func (m *MemoProbes) CountNodes(d mass.DocID) (uint64, error) {
+	key := probeKey{kind: probeNodes}
+	return m.get(d, key, func() (uint64, error) { return m.store.CountNodes(d) })
+}
+
+func (m *MemoProbes) NumericRangeCount(d mass.DocID, lo float64, loIncl bool, hi float64, hiIncl bool) (uint64, error) {
+	key := probeKey{kind: probeNumRange, lo: lo, hi: hi, loIncl: loIncl, hiIncl: hiIncl}
+	return m.get(d, key, func() (uint64, error) { return m.store.NumericRangeCount(d, lo, loIncl, hi, hiIncl) })
+}

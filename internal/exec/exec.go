@@ -59,9 +59,12 @@ func (s State) String() string {
 	}
 }
 
-// Iterator streams a query's resulting tuples.
+// Iterator streams a query's resulting tuples. The shared execution
+// environment is embedded (not separately allocated): operators hold a
+// pointer into the Iterator, which escapes to the heap exactly once per
+// run.
 type Iterator struct {
-	env  *env
+	env  env
 	root execNode
 	cur  flex.Key
 	err  error
@@ -77,7 +80,12 @@ func Run(p *plan.Plan, ctx Context) (*Iterator, error) {
 	if start == "" {
 		start = flex.Root
 	}
-	e := &env{store: ctx.Store, doc: ctx.Doc, start: start, vars: ctx.Vars, building: true}
+	it := &Iterator{env: env{store: ctx.Store, doc: ctx.Doc, start: start, vars: ctx.Vars, building: true}}
+	e := &it.env
+	if n := countSteps(p.Root); n > 0 {
+		e.arena = make([]stepExec, 0, n)
+		e.steps = make([]*stepExec, 0, n)
+	}
 	root, err := e.build(p.Root)
 	e.building = false
 	if err != nil {
@@ -87,7 +95,8 @@ func Run(p *plan.Plan, ctx Context) (*Iterator, error) {
 		root = &orderedExec{child: root}
 	}
 	root.reset(start)
-	return &Iterator{env: e, root: root}, nil
+	it.root = root
+	return it, nil
 }
 
 // orderedExec drains its child and re-delivers the tuples sorted by FLEX
@@ -186,6 +195,50 @@ type env struct {
 	// transient and unregistered.
 	steps    []*stepExec
 	building bool
+	// arena holds the step executors of the initial pipeline in one
+	// allocation. It is sized by a pre-walk of the plan and never grows
+	// (newStep falls back to individual allocations once full), so
+	// pointers into it stay valid.
+	arena []stepExec
+}
+
+// newStep carves a step executor out of the arena, or allocates one when
+// the arena is exhausted (transient subplans built during expression
+// evaluation).
+func (e *env) newStep(op *plan.Step) *stepExec {
+	if len(e.arena) < cap(e.arena) {
+		e.arena = e.arena[:len(e.arena)+1]
+		se := &e.arena[len(e.arena)-1]
+		se.env, se.op = e, op
+		return se
+	}
+	return &stepExec{env: e, op: op}
+}
+
+// countSteps sizes the arena: every Step operator reachable from op,
+// including those inside predicate subplans.
+func countSteps(op plan.Op) int {
+	switch t := op.(type) {
+	case *plan.Root:
+		return countSteps(t.Context)
+	case *plan.Step:
+		n := 1
+		if t.Context != nil {
+			n += countSteps(t.Context)
+		}
+		for _, p := range t.Preds {
+			n += countSteps(p)
+		}
+		return n
+	case *plan.Join:
+		return countSteps(t.Left) + countSteps(t.Right)
+	case *plan.Exist:
+		return countSteps(t.Pred)
+	case *plan.BinaryPred:
+		return countSteps(t.Left) + countSteps(t.Right)
+	default:
+		return 0
+	}
 }
 
 // OpStats reports one step operator's actual execution counters.
@@ -231,7 +284,7 @@ func (e *env) build(op plan.Op) (execNode, error) {
 		}
 		return &rootExec{child: child, distinct: t.Distinct}, nil
 	case *plan.Step:
-		se := &stepExec{env: e, op: t}
+		se := e.newStep(t)
 		if e.building {
 			e.steps = append(e.steps, se)
 		}
@@ -277,12 +330,18 @@ func (e *env) build(op plan.Op) (execNode, error) {
 type rootExec struct {
 	child    execNode
 	distinct bool
-	seen     map[flex.Key]struct{}
-	state    State
+	// The streaming dedup set is only materialized once a second distinct
+	// tuple arrives; single-result queries (the common point-lookup case)
+	// never pay for the map.
+	haveFirst bool
+	first     flex.Key
+	seen      map[flex.Key]struct{}
+	state     State
 }
 
 func (r *rootExec) reset(ctx flex.Key) {
 	r.child.reset(ctx)
+	r.haveFirst = false
 	r.seen = nil
 	r.state = Initial
 }
@@ -300,7 +359,15 @@ func (r *rootExec) next() (flex.Key, bool, error) {
 		}
 		if r.distinct {
 			if r.seen == nil {
-				r.seen = make(map[flex.Key]struct{})
+				if !r.haveFirst {
+					r.haveFirst, r.first = true, k
+					return k, true, nil
+				}
+				if k == r.first {
+					continue
+				}
+				r.seen = map[flex.Key]struct{}{r.first: {}, k: {}}
+				return k, true, nil
 			}
 			if _, dup := r.seen[k]; dup {
 				continue
@@ -329,10 +396,15 @@ type stepExec struct {
 	state   State
 	leafCtx flex.Key
 	scan    *mass.Scan
+	// scanner is the reusable axis-scan state (cursor, range-key buffers)
+	// rebound to each context tuple, so binding a context allocates
+	// nothing after the first.
+	scanner mass.Scanner
 	// Streaming predicate positions: posCounts[j] counts candidates that
 	// passed predicates 0..j-1 for the current context (XPath proximity
-	// position).
+	// position). posBuf backs it inline for the common few-predicate case.
 	posCounts []int
+	posBuf    [4]int
 	// Batch mode (only when a predicate uses last()): candidates for the
 	// current context are materialized and filtered in one pass.
 	batch []flex.Key
@@ -379,9 +451,21 @@ func (s *stepExec) next() (flex.Key, bool, error) {
 				s.scan = s.env.store.NumericRangeScan(s.env.doc, ctx,
 					s.op.NumLo, s.op.NumLoIncl, s.op.NumHi, s.op.NumHiIncl)
 			} else {
-				s.scan = s.env.store.AxisScan(s.env.doc, ctx, s.op.Axis, s.op.Test)
+				s.scan = s.env.store.BindScan(&s.scanner, s.env.doc, ctx, s.op.Axis, s.op.Test)
 			}
-			s.posCounts = make([]int, len(s.preds))
+			// Reuse the proximity-position buffer across context bindings;
+			// a non-leaf step binds one context per input tuple, so this
+			// would otherwise allocate once per tuple.
+			if s.posCounts == nil {
+				if len(s.preds) <= len(s.posBuf) {
+					s.posCounts = s.posBuf[:len(s.preds)]
+				} else {
+					s.posCounts = make([]int, len(s.preds))
+				}
+			}
+			for i := range s.posCounts {
+				s.posCounts[i] = 0
+			}
 			if s.needLast {
 				if err := s.fillBatch(); err != nil {
 					return "", false, err

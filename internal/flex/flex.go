@@ -17,7 +17,10 @@
 // model depends on.
 package flex
 
-import "strings"
+import (
+	"bytes"
+	"strings"
+)
 
 // Key is the dotted serialization of a FLEX key. The empty string is not a
 // valid key; it is used as the "no key" / virtual-super-root sentinel.
@@ -34,6 +37,15 @@ const sep = '.'
 // subtreeSentinel terminates a subtree range. It must be strictly greater
 // than sep and strictly smaller than every alphabet byte.
 const subtreeSentinel = '/'
+
+// SubtreeSentinel is the byte SubtreeUpper appends, exported so byte-level
+// range builders can extend a raw key in place instead of materializing
+// key + sentinel strings.
+const SubtreeSentinel byte = subtreeSentinel
+
+// Sep is the component separator byte, exported (like SubtreeSentinel) so
+// byte-level range builders can form DescLower bounds in place.
+const Sep byte = sep
 
 // IsRoot reports whether k is the document root key.
 func (k Key) IsRoot() bool { return k == Root }
@@ -129,6 +141,24 @@ func (k Key) IsAncestorOf(d Key) bool {
 
 // IsDescendantOf reports whether k is a strict descendant of a.
 func (k Key) IsDescendantOf(a Key) bool { return a.IsAncestorOf(k) }
+
+// DepthOf is Depth for a key still in raw index-entry bytes, letting scan
+// filters reject entries without materializing a Key.
+func DepthOf(b []byte) int {
+	if len(b) == 0 {
+		return 0
+	}
+	return bytes.Count(b, []byte{sep}) + 1
+}
+
+// BytesIsAncestorOf reports whether the key in raw index-entry bytes b is
+// a strict ancestor of d, without materializing a Key.
+func BytesIsAncestorOf(b []byte, d Key) bool {
+	if len(b) == 0 {
+		return len(d) != 0
+	}
+	return len(d) > len(b)+1 && d[len(b)] == sep && string(d[:len(b)]) == string(b)
+}
 
 // DescLower returns the smallest byte string greater than k that every
 // descendant key of k is >= to. The half-open range [k.DescLower(),

@@ -183,6 +183,10 @@ func (t NodeTest) Matches(n xmldoc.Node, principal xmldoc.Kind) bool {
 // axes). It is the unit of MASS's pipelined, index-based access.
 type Scan struct {
 	next func() (xmldoc.Node, bool, error)
+	// sc, when set, replaces next: the scan dispatches straight to the
+	// owning Scanner's shape state, avoiding the method-value allocation a
+	// func field would cost on every Scanner.
+	sc   *Scanner
 	err  error
 	done bool
 }
@@ -193,7 +197,16 @@ func (s *Scan) Next() (xmldoc.Node, bool) {
 	if s.done {
 		return xmldoc.Node{}, false
 	}
-	n, ok, err := s.next()
+	var (
+		n   xmldoc.Node
+		ok  bool
+		err error
+	)
+	if s.sc != nil {
+		n, ok, err = s.sc.nextNode()
+	} else {
+		n, ok, err = s.next()
+	}
 	if err != nil {
 		s.err = err
 		s.done = true

@@ -39,11 +39,18 @@ const maxIndexedValue = 256
 // prefix of the node's value.
 const valueFlagTruncated = 0x01
 
+// appendClusteredKey encodes a clustered-index key into dst's spare
+// capacity. The append-into-scratch variants below let hot scan loops
+// reuse one buffer per cursor instead of allocating per probe.
+func appendClusteredKey(dst []byte, d DocID, k flex.Key) []byte {
+	var db [4]byte
+	binary.BigEndian.PutUint32(db[:], uint32(d))
+	dst = append(dst, db[:]...)
+	return append(dst, k...)
+}
+
 func clusteredKey(d DocID, k flex.Key) []byte {
-	out := make([]byte, 4+len(k))
-	binary.BigEndian.PutUint32(out, uint32(d))
-	copy(out[4:], k)
-	return out
+	return appendClusteredKey(make([]byte, 0, 4+len(k)), d, k)
 }
 
 // clusteredDocRange returns the key range holding every node of d.
@@ -59,15 +66,21 @@ func splitClusteredKey(b []byte) (DocID, flex.Key) {
 	return DocID(binary.BigEndian.Uint32(b)), flex.Key(b[4:])
 }
 
-func nameKey(name string, d DocID, k flex.Key) []byte {
-	out := make([]byte, 0, len(name)+1+4+len(k))
-	out = append(out, name...)
-	out = append(out, 0)
+// clusteredKeySuffix returns the FLEX-key bytes of a clustered/doc-major
+// entry as a view into b, for zero-allocation scan filtering.
+func clusteredKeySuffix(b []byte) []byte { return b[4:] }
+
+func appendNameKey(dst []byte, name string, d DocID, k flex.Key) []byte {
+	dst = append(dst, name...)
+	dst = append(dst, 0)
 	var db [4]byte
 	binary.BigEndian.PutUint32(db[:], uint32(d))
-	out = append(out, db[:]...)
-	out = append(out, k...)
-	return out
+	dst = append(dst, db[:]...)
+	return append(dst, k...)
+}
+
+func nameKey(name string, d DocID, k flex.Key) []byte {
+	return appendNameKey(make([]byte, 0, len(name)+1+4+len(k)), name, d, k)
 }
 
 // nameRange returns the range of nameKey entries for name within doc d
@@ -89,12 +102,21 @@ func nameRange(name string, d DocID, klo, khi flex.Key) (lo, hi []byte) {
 }
 
 func splitNameKey(b []byte) (name string, d DocID, k flex.Key) {
+	nb, kb, d := splitNameKeyView(b)
+	return string(nb), d, flex.Key(kb)
+}
+
+// splitNameKeyView is splitNameKey without materializing strings: the
+// returned slices alias b and are only valid while the source cursor is
+// positioned on the entry. Scan filters use it to reject entries with
+// zero allocations.
+func splitNameKeyView(b []byte) (name, k []byte, d DocID) {
 	for i := 0; i < len(b); i++ {
 		if b[i] == 0 {
-			return string(b[:i]), DocID(binary.BigEndian.Uint32(b[i+1 : i+5])), flex.Key(b[i+5:])
+			return b[:i], b[i+5:], DocID(binary.BigEndian.Uint32(b[i+1 : i+5]))
 		}
 	}
-	return "", 0, ""
+	return nil, nil, 0
 }
 
 func docKey(d DocID, k flex.Key) []byte { return clusteredKey(d, k) }
@@ -120,17 +142,20 @@ func indexedValue(v string) (string, bool) {
 	return v[:maxIndexedValue], true
 }
 
-func valueKey(tag byte, v string, d DocID, k flex.Key) []byte {
+func appendValueKey(dst []byte, tag byte, v string, d DocID, k flex.Key) []byte {
 	iv, _ := indexedValue(v)
-	out := make([]byte, 0, 1+len(iv)+1+4+len(k))
-	out = append(out, tag)
-	out = append(out, iv...)
-	out = append(out, 0)
+	dst = append(dst, tag)
+	dst = append(dst, iv...)
+	dst = append(dst, 0)
 	var db [4]byte
 	binary.BigEndian.PutUint32(db[:], uint32(d))
-	out = append(out, db[:]...)
-	out = append(out, k...)
-	return out
+	dst = append(dst, db[:]...)
+	return append(dst, k...)
+}
+
+func valueKey(tag byte, v string, d DocID, k flex.Key) []byte {
+	iv, _ := indexedValue(v)
+	return appendValueKey(make([]byte, 0, 1+len(iv)+1+4+len(k)), tag, v, d, k)
 }
 
 // valueRange bounds the values index to entries with exactly the given
@@ -154,11 +179,20 @@ func valueRange(tag byte, v string, d DocID, klo, khi flex.Key) (lo, hi []byte) 
 }
 
 func splitValueKey(b []byte) (tag byte, v string, d DocID, k flex.Key) {
-	tag = b[0]
+	vb, kb, d := splitValueKeyView(b)
+	if len(b) > 0 {
+		tag = b[0]
+	}
+	return tag, string(vb), d, flex.Key(kb)
+}
+
+// splitValueKeyView is splitValueKey without materializing strings; the
+// returned slices alias b (see splitNameKeyView).
+func splitValueKeyView(b []byte) (v, k []byte, d DocID) {
 	for i := 1; i < len(b); i++ {
 		if b[i] == 0 {
-			return tag, string(b[1:i]), DocID(binary.BigEndian.Uint32(b[i+1 : i+5])), flex.Key(b[i+5:])
+			return b[1:i], b[i+5:], DocID(binary.BigEndian.Uint32(b[i+1 : i+5]))
 		}
 	}
-	return tag, "", 0, ""
+	return nil, nil, 0
 }

@@ -16,202 +16,34 @@ import (
 // built. Name tests on the downward and horizontal axes are "index-only":
 // they stream keys out of the name index without touching the clustered
 // data at all.
+//
+// Each call allocates a fresh Scanner; callers that open many scans of the
+// same step (one per context tuple) should hold a Scanner and rebind it
+// with BindScan instead.
 func (s *Store) AxisScan(d DocID, ctx flex.Key, axis Axis, test NodeTest) *Scan {
-	if ctx == "" {
-		ctx = flex.Root
-	}
-	switch axis {
-	case AxisSelf:
-		return s.selfScan(d, ctx, test)
-	case AxisChild:
-		return s.childScan(d, ctx, test)
-	case AxisDescendant:
-		return s.rangeScan(d, test, ctx.DescLower(), ctx.SubtreeUpper(), false, 0, "")
-	case AxisDescendantOrSelf:
-		return concatScans(
-			s.selfScan(d, ctx, test),
-			s.rangeScan(d, test, ctx.DescLower(), ctx.SubtreeUpper(), false, 0, ""),
-		)
-	case AxisParent:
-		return s.parentScan(d, ctx, test)
-	case AxisAncestor:
-		return s.ancestorScan(d, ctx, test, false)
-	case AxisAncestorOrSelf:
-		return s.ancestorScan(d, ctx, test, true)
-	case AxisFollowing:
-		return s.rangeScan(d, test, ctx.SubtreeUpper(), flex.Root.SubtreeUpper(), false, 0, "")
-	case AxisFollowingSibling:
-		return s.followingSiblingScan(d, ctx, test)
-	case AxisPreceding:
-		// Everything before ctx in document order, minus ancestors.
-		return s.rangeScan(d, test, flex.Root, ctx, true, 0, ctx)
-	case AxisPrecedingSibling:
-		return s.precedingSiblingScan(d, ctx, test)
-	case AxisAttribute:
-		return s.attributeScan(d, ctx, test)
-	case AxisNamespace:
-		return s.namespaceScan(d, ctx, test)
-	case AxisValue:
-		return s.ValueScan(d, ctx, test.Name)
-	case AxisAttrValue:
-		return s.attrValueScanNamed(d, ctx, test.Name, test.Attr)
-	default:
-		return errScan(fmt.Errorf("mass: unknown axis %d", axis))
-	}
+	return s.BindScan(new(Scanner), d, ctx, axis, test)
 }
 
-func (s *Store) selfScan(d DocID, ctx flex.Key, test NodeTest) *Scan {
-	done := false
-	return &Scan{next: func() (xmldoc.Node, bool, error) {
-		if done {
-			return xmldoc.Node{}, false, nil
-		}
-		done = true
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		n, ok, err := s.nodeLocked(d, ctx)
-		if err != nil || !ok {
-			return xmldoc.Node{}, false, err
-		}
-		// Attribute and namespace nodes are visible to self:: only via
-		// node() and (for attributes that are the context) name tests
-		// with the element principal do not match them.
-		if test.Matches(n, xmldoc.KindElement) && n.Kind != xmldoc.KindAttribute && n.Kind != xmldoc.KindNamespace ||
-			(test.Type == TestNode && (n.Kind == xmldoc.KindAttribute || n.Kind == xmldoc.KindNamespace)) {
-			return n, true, nil
-		}
-		return xmldoc.Node{}, false, nil
-	}}
+// ValueScan streams the text nodes within ctx's subtree whose string value
+// equals value, in document order, using a single value-index range probe.
+// This is the "one look-up" evaluation of value predicates the paper
+// contrasts with eXist's traversal fallback.
+func (s *Store) ValueScan(d DocID, ctx flex.Key, value string) *Scan {
+	return s.BindScan(new(Scanner), d, ctx, AxisValue, NodeTest{Name: value})
 }
 
-// childScan iterates the children of ctx. Name tests use the name index
-// restricted to the subtree with a depth filter; other tests use a
-// clustered skip-scan that seeks over each child's subtree.
-func (s *Store) childScan(d DocID, ctx flex.Key, test NodeTest) *Scan {
-	if test.Type == TestName || test.Type == TestWildcard {
-		return s.rangeScan(d, test, ctx.DescLower(), ctx.SubtreeUpper(), false, ctx.Depth()+1, "")
-	}
-	return s.clusteredSkipScan(d, test, ctx.DescLower(), ctx.SubtreeUpper())
-}
-
-// clusteredSkipScan walks the clustered index visiting only top-level nodes
-// of the range: after yielding (or rejecting) a node it seeks past the
-// node's whole subtree. This makes child and sibling iteration proportional
-// to the number of children, not descendants.
-func (s *Store) clusteredSkipScan(d DocID, test NodeTest, klo, khi flex.Key) *Scan {
-	var cur *btree.Cursor
-	nextSeek := clusteredKey(d, klo)
-	hi := clusteredKey(d, khi)
-	return &Scan{next: func() (xmldoc.Node, bool, error) {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if cur == nil {
-			cur = s.clustered.NewCursor()
-		}
-		for {
-			if !cur.Seek(nextSeek) || !cur.InRange(hi) {
-				return xmldoc.Node{}, false, cur.Err()
-			}
-			_, fk := splitClusteredKey(cur.Key())
-			v, err := cur.Value()
-			if err != nil {
-				return xmldoc.Node{}, false, err
-			}
-			n, err := decodeRecord(v)
-			if err != nil {
-				return xmldoc.Node{}, false, err
-			}
-			n.Key = fk
-			nextSeek = clusteredKey(d, fk.SubtreeUpper())
-			if n.Kind == xmldoc.KindAttribute || n.Kind == xmldoc.KindNamespace {
-				continue // not children
-			}
-			if test.Matches(n, xmldoc.KindElement) {
-				return n, true, nil
-			}
-		}
-	}}
-}
-
-// rangeScan streams the nodes in [klo, khi) that satisfy test, choosing
-// the narrowest index for the test type. depthFilter > 0 keeps only nodes
-// at that FLEX depth (used for child and sibling steps). skipAncestorsOf
-// != "" drops ancestors of that key (used for the preceding axis).
-// reverse delivers reverse document order.
-func (s *Store) rangeScan(d DocID, test NodeTest, klo, khi flex.Key, reverse bool, depthFilter int, skipAncestorsOf flex.Key) *Scan {
-	switch test.Type {
-	case TestName:
-		lo, hi := nameRange(test.Name, d, klo, khi)
-		return s.indexScan(s.names, lo, hi, reverse, func(k []byte) (xmldoc.Node, bool) {
-			name, _, fk := splitNameKey(k)
-			if depthFilter > 0 && fk.Depth() != depthFilter {
-				return xmldoc.Node{}, false
-			}
-			if skipAncestorsOf != "" && fk.IsAncestorOf(skipAncestorsOf) {
-				return xmldoc.Node{}, false
-			}
-			return xmldoc.Node{Key: fk, Kind: xmldoc.KindElement, Name: name}, true
-		})
-	case TestWildcard:
-		lo, hi := docKeyRange(d, klo, khi)
-		return s.indexScanV(s.elems, lo, hi, reverse, func(k, v []byte) (xmldoc.Node, bool) {
-			_, fk := splitClusteredKey(k)
-			if depthFilter > 0 && fk.Depth() != depthFilter {
-				return xmldoc.Node{}, false
-			}
-			if skipAncestorsOf != "" && fk.IsAncestorOf(skipAncestorsOf) {
-				return xmldoc.Node{}, false
-			}
-			return xmldoc.Node{Key: fk, Kind: xmldoc.KindElement, Name: string(v)}, true
-		})
-	case TestText:
-		lo, hi := docKeyRange(d, klo, khi)
-		sc := s.indexScan(s.texts, lo, hi, reverse, func(k []byte) (xmldoc.Node, bool) {
-			_, fk := splitClusteredKey(k)
-			if depthFilter > 0 && fk.Depth() != depthFilter {
-				return xmldoc.Node{}, false
-			}
-			return xmldoc.Node{Key: fk, Kind: xmldoc.KindText}, true
-		})
-		return s.materializeValues(d, sc)
-	default: // node(), comment(), processing-instruction()
-		lo, hi := docKeyRange(d, klo, khi)
-		return s.indexScanV(s.clustered, lo, hi, reverse, func(k, v []byte) (xmldoc.Node, bool) {
-			_, fk := splitClusteredKey(k)
-			n, err := decodeRecord(v)
-			if err != nil {
-				return xmldoc.Node{}, false
-			}
-			n.Key = fk
-			if n.Kind == xmldoc.KindAttribute || n.Kind == xmldoc.KindNamespace {
-				return xmldoc.Node{}, false
-			}
-			if depthFilter > 0 && fk.Depth() != depthFilter {
-				return xmldoc.Node{}, false
-			}
-			if skipAncestorsOf != "" && fk.IsAncestorOf(skipAncestorsOf) {
-				return xmldoc.Node{}, false
-			}
-			if !test.Matches(n, xmldoc.KindElement) {
-				return xmldoc.Node{}, false
-			}
-			return n, true
-		})
-	}
+// AttrValueScan streams the attribute nodes within ctx's subtree whose
+// value equals value, in document order.
+func (s *Store) AttrValueScan(d DocID, ctx flex.Key, value string) *Scan {
+	return s.BindScan(new(Scanner), d, ctx, AxisAttrValue, NodeTest{Name: value})
 }
 
 // indexScan iterates tree keys in [lo, hi), mapping each through accept
-// (which may reject). Only keys are touched, never values.
+// (which may reject). Only keys are touched, never values. The numeric
+// index uses it; axis scans go through Scanner.
 func (s *Store) indexScan(tree *btree.Tree, lo, hi []byte, reverse bool, accept func(k []byte) (xmldoc.Node, bool)) *Scan {
-	return s.indexScanV(tree, lo, hi, reverse, func(k, _ []byte) (xmldoc.Node, bool) { return accept(k) })
-}
-
-// indexScanV is indexScan with access to entry values. Values are only
-// materialized for trees that store them (elems, clustered, values).
-func (s *Store) indexScanV(tree *btree.Tree, lo, hi []byte, reverse bool, accept func(k, v []byte) (xmldoc.Node, bool)) *Scan {
 	var cur *btree.Cursor
 	started := false
-	needsValue := tree == s.elems || tree == s.clustered || tree == s.values
 	return &Scan{next: func() (xmldoc.Node, bool, error) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -244,21 +76,14 @@ func (s *Store) indexScanV(tree *btree.Tree, lo, hi []byte, reverse bool, accept
 			} else if !cur.InRange(hi) {
 				return xmldoc.Node{}, false, nil
 			}
-			var v []byte
-			if needsValue {
-				var err error
-				if v, err = cur.Value(); err != nil {
-					return xmldoc.Node{}, false, err
-				}
-			}
-			if n, keep := accept(cur.Key(), v); keep {
+			if n, keep := accept(cur.Key()); keep {
 				return n, true, nil
 			}
 		}
 	}}
 }
 
-// materializeValues fills in Value for text nodes coming out of the texts
+// materializeValues fills in Value for text nodes coming out of a keys-only
 // index (which stores no content) by probing the clustered index.
 func (s *Store) materializeValues(d DocID, in *Scan) *Scan {
 	return &Scan{next: func() (xmldoc.Node, bool, error) {
@@ -279,132 +104,6 @@ func (s *Store) materializeValues(d DocID, in *Scan) *Scan {
 	}}
 }
 
-func (s *Store) parentScan(d DocID, ctx flex.Key, test NodeTest) *Scan {
-	done := false
-	return &Scan{next: func() (xmldoc.Node, bool, error) {
-		if done {
-			return xmldoc.Node{}, false, nil
-		}
-		done = true
-		p := ctx.Parent()
-		if p == "" {
-			return xmldoc.Node{}, false, nil
-		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		n, ok, err := s.nodeLocked(d, p)
-		if err != nil || !ok {
-			return xmldoc.Node{}, false, err
-		}
-		if test.Matches(n, xmldoc.KindElement) {
-			return n, true, nil
-		}
-		return xmldoc.Node{}, false, nil
-	}}
-}
-
-// ancestorScan yields matching ancestors nearest-first (reverse document
-// order, as XPath requires for this reverse axis).
-func (s *Store) ancestorScan(d DocID, ctx flex.Key, test NodeTest, orSelf bool) *Scan {
-	k := ctx
-	if !orSelf {
-		k = ctx.Parent()
-	}
-	return &Scan{next: func() (xmldoc.Node, bool, error) {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		for k != "" {
-			n, ok, err := s.nodeLocked(d, k)
-			if err != nil {
-				return xmldoc.Node{}, false, err
-			}
-			cur := k
-			k = k.Parent()
-			if !ok || !test.Matches(n, xmldoc.KindElement) {
-				continue
-			}
-			// An attribute context node is reachable only as "self" (and
-			// only via node()); attributes never appear as ancestors.
-			if n.Kind == xmldoc.KindAttribute || n.Kind == xmldoc.KindNamespace {
-				if orSelf && cur == ctx && test.Type == TestNode {
-					return n, true, nil
-				}
-				continue
-			}
-			return n, true, nil
-		}
-		return xmldoc.Node{}, false, nil
-	}}
-}
-
-func (s *Store) followingSiblingScan(d DocID, ctx flex.Key, test NodeTest) *Scan {
-	parent := ctx.Parent()
-	if parent == "" {
-		return emptyScan() // the root has no siblings
-	}
-	// Attribute and namespace context nodes have no siblings.
-	if kind, err := s.kindOf(d, ctx); err != nil {
-		return errScan(err)
-	} else if kind == xmldoc.KindAttribute || kind == xmldoc.KindNamespace {
-		return emptyScan()
-	}
-	if test.Type == TestName || test.Type == TestWildcard {
-		return s.rangeScan(d, test, ctx.SubtreeUpper(), parent.SubtreeUpper(), false, ctx.Depth(), "")
-	}
-	return s.clusteredSkipScan(d, test, ctx.SubtreeUpper(), parent.SubtreeUpper())
-}
-
-func (s *Store) precedingSiblingScan(d DocID, ctx flex.Key, test NodeTest) *Scan {
-	parent := ctx.Parent()
-	if parent == "" {
-		return emptyScan()
-	}
-	if kind, err := s.kindOf(d, ctx); err != nil {
-		return errScan(err)
-	} else if kind == xmldoc.KindAttribute || kind == xmldoc.KindNamespace {
-		return emptyScan()
-	}
-	if test.Type == TestName || test.Type == TestWildcard {
-		return s.rangeScan(d, test, parent.DescLower(), ctx, true, ctx.Depth(), "")
-	}
-	// Clustered walk, one sibling at a time, backwards: the entry just
-	// before the current sibling's key is the deepest node of the
-	// preceding sibling's subtree (or an attribute of the parent, which
-	// terminates the walk).
-	cur := ctx
-	depth := ctx.Depth()
-	lo := clusteredKey(d, parent.DescLower())
-	return &Scan{next: func() (xmldoc.Node, bool, error) {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		c := s.clustered.NewCursor()
-		for {
-			if !c.SeekBefore(clusteredKey(d, cur)) {
-				return xmldoc.Node{}, false, c.Err()
-			}
-			if string(c.Key()) < string(lo) {
-				return xmldoc.Node{}, false, nil
-			}
-			_, fk := splitClusteredKey(c.Key())
-			sib := fk.AncestorAtDepth(depth)
-			if sib == "" {
-				return xmldoc.Node{}, false, nil
-			}
-			n, ok, err := s.nodeLocked(d, sib)
-			if err != nil || !ok {
-				return xmldoc.Node{}, false, err
-			}
-			cur = sib
-			if n.Kind == xmldoc.KindAttribute || n.Kind == xmldoc.KindNamespace {
-				return xmldoc.Node{}, false, nil // reached the parent's attributes
-			}
-			if test.Matches(n, xmldoc.KindElement) {
-				return n, true, nil
-			}
-		}
-	}}
-}
-
 func (s *Store) kindOf(d DocID, k flex.Key) (xmldoc.Kind, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -416,59 +115,6 @@ func (s *Store) kindOf(d DocID, k flex.Key) (xmldoc.Kind, error) {
 		return 0, fmt.Errorf("mass: no node at %q", k)
 	}
 	return n.Kind, nil
-}
-
-// attributeScan yields ctx's attribute nodes. Attribute and namespace
-// nodes precede all other child content in document order (an XPath data
-// model invariant the loader and the update API maintain), so they form a
-// contiguous clustered prefix directly under ctx: scan forward from the
-// subtree start and stop at the first non-attribute node.
-func (s *Store) attributeScan(d DocID, ctx flex.Key, test NodeTest) *Scan {
-	hi := clusteredKey(d, ctx.SubtreeUpper())
-	var cur *btree.Cursor
-	started, done := false, false
-	return &Scan{next: func() (xmldoc.Node, bool, error) {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if done {
-			return xmldoc.Node{}, false, nil
-		}
-		if cur == nil {
-			cur = s.clustered.NewCursor()
-		}
-		for {
-			var ok bool
-			if !started {
-				started = true
-				ok = cur.Seek(clusteredKey(d, ctx.DescLower()))
-			} else {
-				ok = cur.Next()
-			}
-			if !ok || !cur.InRange(hi) {
-				done = true
-				return xmldoc.Node{}, false, cur.Err()
-			}
-			v, err := cur.Value()
-			if err != nil {
-				return xmldoc.Node{}, false, err
-			}
-			n, err := decodeRecord(v)
-			if err != nil {
-				return xmldoc.Node{}, false, err
-			}
-			if n.Kind != xmldoc.KindAttribute && n.Kind != xmldoc.KindNamespace {
-				// First content child: no attributes follow it in
-				// document order, so the scan is complete.
-				done = true
-				return xmldoc.Node{}, false, nil
-			}
-			_, fk := splitClusteredKey(cur.Key())
-			n.Key = fk
-			if n.Kind == xmldoc.KindAttribute && test.Matches(n, xmldoc.KindAttribute) {
-				return n, true, nil
-			}
-		}
-	}}
 }
 
 // namespaceScan yields the in-scope namespace nodes of ctx: declarations
@@ -501,88 +147,4 @@ func (s *Store) namespaceScan(d DocID, ctx flex.Key, test NodeTest) *Scan {
 	}
 	s.mu.Unlock()
 	return sliceScan(out)
-}
-
-// ValueScan streams the text nodes within ctx's subtree whose string value
-// equals value, in document order, using a single value-index range probe.
-// This is the "one look-up" evaluation of value predicates the paper
-// contrasts with eXist's traversal fallback.
-func (s *Store) ValueScan(d DocID, ctx flex.Key, value string) *Scan {
-	if ctx == "" {
-		ctx = flex.Root
-	}
-	lo, hi := valueRange(valueTagText, value, d, ctx, ctx.SubtreeUpper())
-	_, truncated := indexedValue(value)
-	return s.indexScanV(s.values, lo, hi, false, func(k, flags []byte) (xmldoc.Node, bool) {
-		_, _, _, fk := splitValueKey(k)
-		n := xmldoc.Node{Key: fk, Kind: xmldoc.KindText, Value: value}
-		if truncated || (len(flags) > 0 && flags[0]&valueFlagTruncated != 0) {
-			// The key holds only a prefix; verify against the record.
-			full, ok, err := s.nodeLocked(d, fk)
-			if err != nil || !ok || full.Value != value {
-				return xmldoc.Node{}, false
-			}
-			n = full
-		}
-		return n, true
-	})
-}
-
-// AttrValueScan streams the attribute nodes within ctx's subtree whose
-// value equals value, in document order.
-func (s *Store) AttrValueScan(d DocID, ctx flex.Key, value string) *Scan {
-	if ctx == "" {
-		ctx = flex.Root
-	}
-	lo, hi := valueRange(valueTagAttr, value, d, ctx, ctx.SubtreeUpper())
-	_, truncated := indexedValue(value)
-	return s.indexScanV(s.values, lo, hi, false, func(k, flags []byte) (xmldoc.Node, bool) {
-		_, _, _, fk := splitValueKey(k)
-		full, ok, err := s.nodeLocked(d, fk)
-		if err != nil || !ok {
-			return xmldoc.Node{}, false
-		}
-		if (truncated || (len(flags) > 0 && flags[0]&valueFlagTruncated != 0)) && full.Value != value {
-			return xmldoc.Node{}, false
-		}
-		return full, true
-	})
-}
-
-// attrValueScanNamed restricts AttrValueScan to attributes named name
-// (any name when empty).
-func (s *Store) attrValueScanNamed(d DocID, ctx flex.Key, value, name string) *Scan {
-	inner := s.AttrValueScan(d, ctx, value)
-	if name == "" {
-		return inner
-	}
-	return &Scan{next: func() (xmldoc.Node, bool, error) {
-		for {
-			n, ok := inner.Next()
-			if !ok {
-				return xmldoc.Node{}, false, inner.Err()
-			}
-			if n.Name == name {
-				return n, true, nil
-			}
-		}
-	}}
-}
-
-// concatScans chains scans in order.
-func concatScans(scans ...*Scan) *Scan {
-	i := 0
-	return &Scan{next: func() (xmldoc.Node, bool, error) {
-		for i < len(scans) {
-			n, ok := scans[i].Next()
-			if ok {
-				return n, true, nil
-			}
-			if err := scans[i].Err(); err != nil {
-				return xmldoc.Node{}, false, err
-			}
-			i++
-		}
-		return xmldoc.Node{}, false, nil
-	}}
 }

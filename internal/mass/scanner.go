@@ -1,0 +1,630 @@
+package mass
+
+import (
+	"fmt"
+
+	"vamana/internal/btree"
+	"vamana/internal/flex"
+	"vamana/internal/xmldoc"
+)
+
+// Scanner holds the reusable state behind an axis scan: the B+-tree cursor,
+// the encoded range-key buffers, and the Scan object handed to the caller.
+// The execution engine keeps one Scanner per step operator and rebinds it
+// to each context tuple, so the per-binding cost of a step is pure index
+// work with no allocations (the dominant cost of pipelined evaluation,
+// where a non-leaf step opens one scan per context tuple).
+//
+// A Scanner serves one binding at a time: BindScan invalidates the Scan
+// returned by the previous call. Scanners are not safe for concurrent use;
+// the Store's internal locking protects the underlying trees, not the
+// Scanner's own state.
+type Scanner struct {
+	store *Store
+	d     DocID
+	test  NodeTest
+	ctx   flex.Key
+	shape scanShape
+
+	// Range state (shapeRange, shapeSelfThenRange): a [lo, hi) walk of
+	// tree, mapping entries through the accept filter selected by kind.
+	// shapeSkip and shapeAttribute reuse lo as seek buffer and hi as the
+	// range bound; shapePrevSibWalk reuses lo as the bound and hi as the
+	// per-step seek buffer.
+	tree       *btree.Tree
+	lo, hi     []byte
+	reverse    bool
+	needsValue bool
+	kind       acceptKind
+	depth      int      // keep only nodes at this FLEX depth (0 = any)
+	skipAnc    flex.Key // drop ancestors of this key ("" = none)
+	truncated  bool     // value scans: the probe value itself was truncated
+	cur        btree.Cursor
+	started    bool
+
+	// Walk state (self, parent, ancestor, preceding-sibling).
+	walkKey  flex.Key
+	orSelf   bool
+	selfDone bool
+	done     bool
+
+	bindErr error
+
+	scan Scan
+}
+
+// scanShape selects the iteration strategy a binding uses.
+type scanShape uint8
+
+const (
+	shapeEmpty scanShape = iota
+	shapeErr
+	shapeSelf
+	shapeParent
+	shapeAncestor
+	shapeRange
+	shapeSelfThenRange // descendant-or-self: self candidate, then subtree
+	shapeSkip          // clustered skip-scan (child/sibling non-name tests)
+	shapeAttribute
+	shapePrevSibWalk // preceding-sibling without a name test
+)
+
+// acceptKind selects the per-entry filter of a range shape.
+type acceptKind uint8
+
+const (
+	acceptName acceptKind = iota
+	acceptWildcard
+	acceptText
+	acceptNode
+	acceptValue
+	acceptAttrValue
+)
+
+// BindScan points sc at axis::test from context node ctx within document d
+// and returns its scan. The returned Scan is owned by sc and is invalidated
+// by the next BindScan on the same Scanner. Binding reuses sc's cursor and
+// key buffers, so repeated bindings (one per context tuple) allocate
+// nothing after the first.
+func (s *Store) BindScan(sc *Scanner, d DocID, ctx flex.Key, axis Axis, test NodeTest) *Scan {
+	if ctx == "" {
+		ctx = flex.Root
+	}
+	sc.scan.sc = sc
+	sc.store, sc.d, sc.test, sc.ctx = s, d, test, ctx
+	sc.scan.err, sc.scan.done = nil, false
+	sc.started, sc.done, sc.selfDone = false, false, false
+	sc.reverse, sc.depth, sc.skipAnc = false, 0, ""
+	sc.bindErr = nil
+
+	switch axis {
+	case AxisSelf:
+		sc.shape = shapeSelf
+	case AxisChild:
+		if test.Type == TestName || test.Type == TestWildcard {
+			sc.setRange(ctx, flex.Sep, ctx, flex.SubtreeSentinel)
+			sc.depth = ctx.Depth() + 1
+		} else {
+			sc.setSkip(ctx, flex.Sep, ctx, flex.SubtreeSentinel)
+		}
+	case AxisDescendant:
+		sc.setRange(ctx, flex.Sep, ctx, flex.SubtreeSentinel)
+	case AxisDescendantOrSelf:
+		sc.setRange(ctx, flex.Sep, ctx, flex.SubtreeSentinel)
+		sc.shape = shapeSelfThenRange
+	case AxisParent:
+		sc.shape = shapeParent
+	case AxisAncestor:
+		sc.shape = shapeAncestor
+		sc.walkKey, sc.orSelf = ctx.Parent(), false
+	case AxisAncestorOrSelf:
+		sc.shape = shapeAncestor
+		sc.walkKey, sc.orSelf = ctx, true
+	case AxisFollowing:
+		sc.setRange(ctx, flex.SubtreeSentinel, flex.Root, flex.SubtreeSentinel)
+	case AxisFollowingSibling:
+		sc.bindFollowingSibling(ctx, test)
+	case AxisPreceding:
+		// Everything before ctx in document order, minus ancestors.
+		sc.setRange(flex.Root, 0, ctx, 0)
+		sc.reverse, sc.skipAnc = true, ctx
+	case AxisPrecedingSibling:
+		sc.bindPrecedingSibling(ctx, test)
+	case AxisAttribute:
+		sc.shape = shapeAttribute
+		sc.lo = append(appendClusteredKey(sc.lo[:0], d, ctx), flex.Sep)
+		sc.hi = append(appendClusteredKey(sc.hi[:0], d, ctx), flex.SubtreeSentinel)
+		sc.cur.Reset(s.clustered)
+	case AxisNamespace:
+		// In-scope namespaces need an ancestor walk with prefix shadowing;
+		// rare enough to keep on the allocating slow path.
+		return s.namespaceScan(d, ctx, test)
+	case AxisValue:
+		sc.setValueRange(valueTagText, acceptValue, ctx)
+	case AxisAttrValue:
+		sc.setValueRange(valueTagAttr, acceptAttrValue, ctx)
+	default:
+		sc.shape = shapeErr
+		sc.bindErr = fmt.Errorf("mass: unknown axis %d", axis)
+	}
+	return &sc.scan
+}
+
+// setRange prepares a range walk over FLEX keys [klo·loExt, khi·hiExt)
+// (a 0 extension byte appends nothing), picking the narrowest index for
+// the node test.
+func (sc *Scanner) setRange(klo flex.Key, loExt byte, khi flex.Key, hiExt byte) {
+	s := sc.store
+	switch sc.test.Type {
+	case TestName:
+		sc.tree, sc.kind = s.names, acceptName
+		sc.lo = appendNameKey(sc.lo[:0], sc.test.Name, sc.d, klo)
+		sc.hi = appendNameKey(sc.hi[:0], sc.test.Name, sc.d, khi)
+	case TestWildcard:
+		sc.tree, sc.kind = s.elems, acceptWildcard
+		sc.lo = appendClusteredKey(sc.lo[:0], sc.d, klo)
+		sc.hi = appendClusteredKey(sc.hi[:0], sc.d, khi)
+	case TestText:
+		sc.tree, sc.kind = s.texts, acceptText
+		sc.lo = appendClusteredKey(sc.lo[:0], sc.d, klo)
+		sc.hi = appendClusteredKey(sc.hi[:0], sc.d, khi)
+	default: // node(), comment(), processing-instruction()
+		sc.tree, sc.kind = s.clustered, acceptNode
+		sc.lo = appendClusteredKey(sc.lo[:0], sc.d, klo)
+		sc.hi = appendClusteredKey(sc.hi[:0], sc.d, khi)
+	}
+	if loExt != 0 {
+		sc.lo = append(sc.lo, loExt)
+	}
+	if hiExt != 0 {
+		sc.hi = append(sc.hi, hiExt)
+	}
+	sc.needsValue = sc.tree == s.elems || sc.tree == s.clustered || sc.tree == s.values
+	sc.cur.Reset(sc.tree)
+	sc.shape = shapeRange
+}
+
+// setValueRange prepares a value-index walk for entries whose (possibly
+// truncated) value equals the probe literal, within ctx's subtree.
+func (sc *Scanner) setValueRange(tag byte, kind acceptKind, ctx flex.Key) {
+	_, sc.truncated = indexedValue(sc.test.Name)
+	sc.lo = appendValueKey(sc.lo[:0], tag, sc.test.Name, sc.d, ctx)
+	sc.hi = append(appendValueKey(sc.hi[:0], tag, sc.test.Name, sc.d, ctx), flex.SubtreeSentinel)
+	sc.tree, sc.kind, sc.needsValue = sc.store.values, kind, true
+	sc.cur.Reset(sc.tree)
+	sc.shape = shapeRange
+}
+
+// setSkip prepares a clustered skip-scan over [klo·loExt, khi·hiExt): it
+// visits only the top-level nodes of the range, seeking past each node's
+// whole subtree, which keeps child and sibling iteration proportional to
+// the number of children, not descendants.
+func (sc *Scanner) setSkip(klo flex.Key, loExt byte, khi flex.Key, hiExt byte) {
+	sc.lo = appendClusteredKey(sc.lo[:0], sc.d, klo)
+	if loExt != 0 {
+		sc.lo = append(sc.lo, loExt)
+	}
+	sc.hi = appendClusteredKey(sc.hi[:0], sc.d, khi)
+	if hiExt != 0 {
+		sc.hi = append(sc.hi, hiExt)
+	}
+	sc.cur.Reset(sc.store.clustered)
+	sc.shape = shapeSkip
+}
+
+func (sc *Scanner) bindFollowingSibling(ctx flex.Key, test NodeTest) {
+	parent := ctx.Parent()
+	if parent == "" {
+		sc.shape = shapeEmpty // the root has no siblings
+		return
+	}
+	// Attribute and namespace context nodes have no siblings.
+	if kind, err := sc.store.kindOf(sc.d, ctx); err != nil {
+		sc.shape, sc.bindErr = shapeErr, err
+		return
+	} else if kind == xmldoc.KindAttribute || kind == xmldoc.KindNamespace {
+		sc.shape = shapeEmpty
+		return
+	}
+	if test.Type == TestName || test.Type == TestWildcard {
+		sc.setRange(ctx, flex.SubtreeSentinel, parent, flex.SubtreeSentinel)
+		sc.depth = ctx.Depth()
+		return
+	}
+	sc.setSkip(ctx, flex.SubtreeSentinel, parent, flex.SubtreeSentinel)
+}
+
+func (sc *Scanner) bindPrecedingSibling(ctx flex.Key, test NodeTest) {
+	parent := ctx.Parent()
+	if parent == "" {
+		sc.shape = shapeEmpty
+		return
+	}
+	if kind, err := sc.store.kindOf(sc.d, ctx); err != nil {
+		sc.shape, sc.bindErr = shapeErr, err
+		return
+	} else if kind == xmldoc.KindAttribute || kind == xmldoc.KindNamespace {
+		sc.shape = shapeEmpty
+		return
+	}
+	if test.Type == TestName || test.Type == TestWildcard {
+		sc.setRange(parent, flex.Sep, ctx, 0)
+		sc.reverse, sc.depth = true, ctx.Depth()
+		return
+	}
+	// Clustered walk, one sibling at a time, backwards: the entry just
+	// before the current sibling's key is the deepest node of the preceding
+	// sibling's subtree (or an attribute of the parent, which terminates
+	// the walk). lo bounds the walk; hi doubles as the seek buffer.
+	sc.shape = shapePrevSibWalk
+	sc.walkKey, sc.depth = ctx, ctx.Depth()
+	sc.lo = append(appendClusteredKey(sc.lo[:0], sc.d, parent), flex.Sep)
+	sc.cur.Reset(sc.store.clustered)
+}
+
+// nextNode dispatches to the bound shape (invoked directly by Scan.Next);
+// rebinding swaps the shape state underneath it.
+func (sc *Scanner) nextNode() (xmldoc.Node, bool, error) {
+	switch sc.shape {
+	case shapeEmpty:
+		return xmldoc.Node{}, false, nil
+	case shapeErr:
+		return xmldoc.Node{}, false, sc.bindErr
+	case shapeSelf:
+		if sc.done {
+			return xmldoc.Node{}, false, nil
+		}
+		sc.done = true
+		return sc.evalSelf()
+	case shapeSelfThenRange:
+		if !sc.selfDone {
+			sc.selfDone = true
+			n, ok, err := sc.evalSelf()
+			if err != nil || ok {
+				return n, ok, err
+			}
+		}
+		return sc.nextRange()
+	case shapeParent:
+		return sc.nextParent()
+	case shapeAncestor:
+		return sc.nextAncestor()
+	case shapeRange:
+		return sc.nextRange()
+	case shapeSkip:
+		return sc.nextSkip()
+	case shapeAttribute:
+		return sc.nextAttribute()
+	case shapePrevSibWalk:
+		return sc.nextPrevSib()
+	default:
+		return xmldoc.Node{}, false, fmt.Errorf("mass: scanner in unknown shape %d", sc.shape)
+	}
+}
+
+// evalSelf tests the context node itself (self:: and the self half of
+// descendant-or-self::).
+func (sc *Scanner) evalSelf() (xmldoc.Node, bool, error) {
+	s := sc.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok, err := s.nodeLocked(sc.d, sc.ctx)
+	if err != nil || !ok {
+		return xmldoc.Node{}, false, err
+	}
+	// Attribute and namespace nodes are visible to self:: only via node()
+	// and (for attributes that are the context) name tests with the element
+	// principal do not match them.
+	if sc.test.Matches(n, xmldoc.KindElement) && n.Kind != xmldoc.KindAttribute && n.Kind != xmldoc.KindNamespace ||
+		(sc.test.Type == TestNode && (n.Kind == xmldoc.KindAttribute || n.Kind == xmldoc.KindNamespace)) {
+		return n, true, nil
+	}
+	return xmldoc.Node{}, false, nil
+}
+
+func (sc *Scanner) nextParent() (xmldoc.Node, bool, error) {
+	if sc.done {
+		return xmldoc.Node{}, false, nil
+	}
+	sc.done = true
+	p := sc.ctx.Parent()
+	if p == "" {
+		return xmldoc.Node{}, false, nil
+	}
+	s := sc.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok, err := s.nodeLocked(sc.d, p)
+	if err != nil || !ok {
+		return xmldoc.Node{}, false, err
+	}
+	if sc.test.Matches(n, xmldoc.KindElement) {
+		return n, true, nil
+	}
+	return xmldoc.Node{}, false, nil
+}
+
+// nextAncestor yields matching ancestors nearest-first (reverse document
+// order, as XPath requires for this reverse axis).
+func (sc *Scanner) nextAncestor() (xmldoc.Node, bool, error) {
+	s := sc.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for sc.walkKey != "" {
+		n, ok, err := s.nodeLocked(sc.d, sc.walkKey)
+		if err != nil {
+			return xmldoc.Node{}, false, err
+		}
+		cur := sc.walkKey
+		sc.walkKey = sc.walkKey.Parent()
+		if !ok || !sc.test.Matches(n, xmldoc.KindElement) {
+			continue
+		}
+		// An attribute context node is reachable only as "self" (and only
+		// via node()); attributes never appear as ancestors.
+		if n.Kind == xmldoc.KindAttribute || n.Kind == xmldoc.KindNamespace {
+			if sc.orSelf && cur == sc.ctx && sc.test.Type == TestNode {
+				return n, true, nil
+			}
+			continue
+		}
+		return n, true, nil
+	}
+	return xmldoc.Node{}, false, nil
+}
+
+// nextRange walks tree entries in [lo, hi), mapping each through the
+// accept filter. Only trees that store values are ever read for values,
+// and values are passed as tree-owned views.
+func (sc *Scanner) nextRange() (xmldoc.Node, bool, error) {
+	s := sc.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		var ok bool
+		if !sc.started {
+			sc.started = true
+			if sc.reverse {
+				ok = sc.cur.SeekBefore(sc.hi)
+			} else {
+				ok = sc.cur.Seek(sc.lo)
+			}
+		} else {
+			if sc.reverse {
+				ok = sc.cur.Prev()
+			} else {
+				ok = sc.cur.Next()
+			}
+		}
+		if !ok {
+			return xmldoc.Node{}, false, sc.cur.Err()
+		}
+		if sc.reverse {
+			if string(sc.cur.Key()) < string(sc.lo) {
+				return xmldoc.Node{}, false, nil
+			}
+		} else if !sc.cur.InRange(sc.hi) {
+			return xmldoc.Node{}, false, nil
+		}
+		var v []byte
+		if sc.needsValue {
+			var err error
+			if v, err = sc.cur.ValueView(); err != nil {
+				return xmldoc.Node{}, false, err
+			}
+		}
+		n, keep, err := sc.accept(sc.cur.Key(), v)
+		if err != nil {
+			return xmldoc.Node{}, false, err
+		}
+		if keep {
+			return n, true, nil
+		}
+	}
+}
+
+// accept maps one index entry to a node, or rejects it. It runs with the
+// store lock held; key and value slices are tree-owned views.
+func (sc *Scanner) accept(k, v []byte) (xmldoc.Node, bool, error) {
+	switch sc.kind {
+	case acceptName:
+		// Every entry in the name range carries exactly test.Name, so the
+		// emitted node reuses that string; filters run on byte views and
+		// the only per-entry allocation is the emitted key itself.
+		_, kb, _ := splitNameKeyView(k)
+		if sc.depth > 0 && flex.DepthOf(kb) != sc.depth {
+			return xmldoc.Node{}, false, nil
+		}
+		if sc.skipAnc != "" && flex.BytesIsAncestorOf(kb, sc.skipAnc) {
+			return xmldoc.Node{}, false, nil
+		}
+		return xmldoc.Node{Key: flex.Key(kb), Kind: xmldoc.KindElement, Name: sc.test.Name}, true, nil
+	case acceptWildcard:
+		kb := clusteredKeySuffix(k)
+		if sc.depth > 0 && flex.DepthOf(kb) != sc.depth {
+			return xmldoc.Node{}, false, nil
+		}
+		if sc.skipAnc != "" && flex.BytesIsAncestorOf(kb, sc.skipAnc) {
+			return xmldoc.Node{}, false, nil
+		}
+		return xmldoc.Node{Key: flex.Key(kb), Kind: xmldoc.KindElement, Name: string(v)}, true, nil
+	case acceptText:
+		kb := clusteredKeySuffix(k)
+		if sc.depth > 0 && flex.DepthOf(kb) != sc.depth {
+			return xmldoc.Node{}, false, nil
+		}
+		// The texts index stores no content: materialize the value from the
+		// clustered record (text nodes cannot be ancestors, so the
+		// preceding-axis ancestor filter never applies here).
+		fk := flex.Key(kb)
+		full, ok, err := sc.store.nodeLocked(sc.d, fk)
+		if err != nil {
+			return xmldoc.Node{}, false, err
+		}
+		if ok {
+			return full, true, nil
+		}
+		return xmldoc.Node{Key: fk, Kind: xmldoc.KindText}, true, nil
+	case acceptNode:
+		_, fk := splitClusteredKey(k)
+		n, err := decodeRecord(v)
+		if err != nil {
+			return xmldoc.Node{}, false, nil
+		}
+		n.Key = fk
+		if n.Kind == xmldoc.KindAttribute || n.Kind == xmldoc.KindNamespace {
+			return xmldoc.Node{}, false, nil
+		}
+		if sc.depth > 0 && fk.Depth() != sc.depth {
+			return xmldoc.Node{}, false, nil
+		}
+		if sc.skipAnc != "" && fk.IsAncestorOf(sc.skipAnc) {
+			return xmldoc.Node{}, false, nil
+		}
+		if !sc.test.Matches(n, xmldoc.KindElement) {
+			return xmldoc.Node{}, false, nil
+		}
+		return n, true, nil
+	case acceptValue:
+		_, kb, _ := splitValueKeyView(k)
+		fk := flex.Key(kb)
+		n := xmldoc.Node{Key: fk, Kind: xmldoc.KindText, Value: sc.test.Name}
+		if sc.truncated || (len(v) > 0 && v[0]&valueFlagTruncated != 0) {
+			// The key holds only a prefix; verify against the record.
+			full, ok, err := sc.store.nodeLocked(sc.d, fk)
+			if err != nil || !ok || full.Value != sc.test.Name {
+				return xmldoc.Node{}, false, nil
+			}
+			n = full
+		}
+		return n, true, nil
+	case acceptAttrValue:
+		_, kb, _ := splitValueKeyView(k)
+		fk := flex.Key(kb)
+		full, ok, err := sc.store.nodeLocked(sc.d, fk)
+		if err != nil || !ok {
+			return xmldoc.Node{}, false, nil
+		}
+		if (sc.truncated || (len(v) > 0 && v[0]&valueFlagTruncated != 0)) && full.Value != sc.test.Name {
+			return xmldoc.Node{}, false, nil
+		}
+		if sc.test.Attr != "" && full.Name != sc.test.Attr {
+			return xmldoc.Node{}, false, nil
+		}
+		return full, true, nil
+	default:
+		return xmldoc.Node{}, false, fmt.Errorf("mass: unknown accept kind %d", sc.kind)
+	}
+}
+
+// nextSkip advances the clustered skip-scan: after yielding (or rejecting)
+// a node it seeks past the node's whole subtree. lo is the reused seek
+// buffer; hi the range bound.
+func (sc *Scanner) nextSkip() (xmldoc.Node, bool, error) {
+	s := sc.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if !sc.cur.Seek(sc.lo) || !sc.cur.InRange(sc.hi) {
+			return xmldoc.Node{}, false, sc.cur.Err()
+		}
+		v, err := sc.cur.ValueView()
+		if err != nil {
+			return xmldoc.Node{}, false, err
+		}
+		n, err := decodeRecord(v)
+		if err != nil {
+			return xmldoc.Node{}, false, err
+		}
+		// Reuse the seek buffer: next time, resume past this node's whole
+		// subtree (key ++ sentinel).
+		sc.lo = append(append(sc.lo[:0], sc.cur.Key()...), flex.SubtreeSentinel)
+		if n.Kind == xmldoc.KindAttribute || n.Kind == xmldoc.KindNamespace {
+			continue // not children
+		}
+		if sc.test.Matches(n, xmldoc.KindElement) {
+			n.Key = flex.Key(clusteredKeySuffix(sc.lo[:len(sc.lo)-1]))
+			return n, true, nil
+		}
+	}
+}
+
+// nextAttribute yields ctx's attribute nodes. Attribute and namespace
+// nodes precede all other child content in document order (an XPath data
+// model invariant the loader and the update API maintain), so they form a
+// contiguous clustered prefix directly under ctx: scan forward from the
+// subtree start and stop at the first non-attribute node.
+func (sc *Scanner) nextAttribute() (xmldoc.Node, bool, error) {
+	s := sc.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sc.done {
+		return xmldoc.Node{}, false, nil
+	}
+	for {
+		var ok bool
+		if !sc.started {
+			sc.started = true
+			ok = sc.cur.Seek(sc.lo)
+		} else {
+			ok = sc.cur.Next()
+		}
+		if !ok || !sc.cur.InRange(sc.hi) {
+			sc.done = true
+			return xmldoc.Node{}, false, sc.cur.Err()
+		}
+		v, err := sc.cur.ValueView()
+		if err != nil {
+			return xmldoc.Node{}, false, err
+		}
+		n, err := decodeRecord(v)
+		if err != nil {
+			return xmldoc.Node{}, false, err
+		}
+		if n.Kind != xmldoc.KindAttribute && n.Kind != xmldoc.KindNamespace {
+			// First content child: no attributes follow it in document
+			// order, so the scan is complete.
+			sc.done = true
+			return xmldoc.Node{}, false, nil
+		}
+		_, fk := splitClusteredKey(sc.cur.Key())
+		n.Key = fk
+		if n.Kind == xmldoc.KindAttribute && sc.test.Matches(n, xmldoc.KindAttribute) {
+			return n, true, nil
+		}
+	}
+}
+
+// nextPrevSib walks preceding siblings one at a time, backwards: the
+// clustered entry just before the current sibling's key is the deepest
+// node of the preceding sibling's subtree.
+func (sc *Scanner) nextPrevSib() (xmldoc.Node, bool, error) {
+	s := sc.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		sc.hi = appendClusteredKey(sc.hi[:0], sc.d, sc.walkKey)
+		if !sc.cur.SeekBefore(sc.hi) {
+			return xmldoc.Node{}, false, sc.cur.Err()
+		}
+		if string(sc.cur.Key()) < string(sc.lo) {
+			return xmldoc.Node{}, false, nil
+		}
+		_, fk := splitClusteredKey(sc.cur.Key())
+		sib := fk.AncestorAtDepth(sc.depth)
+		if sib == "" {
+			return xmldoc.Node{}, false, nil
+		}
+		n, ok, err := s.nodeLocked(sc.d, sib)
+		if err != nil || !ok {
+			return xmldoc.Node{}, false, err
+		}
+		sc.walkKey = sib
+		if n.Kind == xmldoc.KindAttribute || n.Kind == xmldoc.KindNamespace {
+			return xmldoc.Node{}, false, nil // reached the parent's attributes
+		}
+		if sc.test.Matches(n, xmldoc.KindElement) {
+			return n, true, nil
+		}
+	}
+}

@@ -44,6 +44,15 @@ type Store struct {
 	docs    map[string]DocID
 	nextDoc DocID
 
+	// epochs tracks a per-document statistics epoch, bumped by every
+	// mutation of that document (load, insert, update, delete, drop).
+	// Consumers that cache document-derived state — compiled plans,
+	// memoized statistics probes — key their entries by epoch and treat a
+	// mismatch as an invalidation. Epochs are in-memory only: a reopened
+	// store starts at epoch 0 with empty caches, which is trivially
+	// consistent.
+	epochs map[DocID]uint64
+
 	// keyBuf is a scratch buffer for transient clustered-key lookups.
 	// Only valid under mu and only for keys not retained by the callee.
 	keyBuf []byte
@@ -74,7 +83,7 @@ func Open(opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
-	s := &Store{pg: pg, docs: make(map[string]DocID), nextDoc: 1}
+	s := &Store{pg: pg, docs: make(map[string]DocID), epochs: make(map[DocID]uint64), nextDoc: 1}
 	meta := pg.UserMeta()
 	catalogRoot := pager.PageID(binary.LittleEndian.Uint32(meta[:4]))
 	if catalogRoot == pager.InvalidPage {
@@ -237,6 +246,7 @@ func (s *Store) LoadDocument(name string, r io.Reader) (DocID, error) {
 	}
 	d := s.nextDoc
 	s.nextDoc++
+	s.bumpEpochLocked(d)
 	err := xmldoc.Parse(r, func(n xmldoc.Node) error { return s.indexNode(d, n) })
 	if err != nil {
 		// Loading failed midway; remove the partial document so the store
@@ -349,6 +359,21 @@ func (s *Store) deleteNodeIndexEntries(d DocID, n xmldoc.Node) {
 	}
 }
 
+// Epoch returns the document's current statistics epoch. Any mutation of
+// the document bumps it, so an epoch captured alongside cached
+// document-derived state (an optimized plan, a memoized COUNT probe)
+// detects staleness with one comparison.
+func (s *Store) Epoch(d DocID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epochs[d]
+}
+
+// bumpEpochLocked invalidates cached document-derived state after a
+// mutation. Called with mu held, including on failed partial mutations —
+// a spurious bump only costs one redundant recomputation.
+func (s *Store) bumpEpochLocked(d DocID) { s.epochs[d]++ }
+
 // DocID resolves a document name.
 func (s *Store) DocID(name string) (DocID, bool) {
 	s.mu.Lock()
@@ -377,6 +402,7 @@ func (s *Store) DropDocument(name string) error {
 		return errNoDoc
 	}
 	s.removeDocNodesLocked(d)
+	s.bumpEpochLocked(d)
 	delete(s.docs, name)
 	_, err := s.catalog.Delete([]byte(catDoc + name))
 	return err

@@ -39,6 +39,7 @@ func (s *Store) InsertText(d DocID, parent flex.Key, pos int, value string) (fle
 func (s *Store) insertContent(d DocID, parent flex.Key, pos int, n xmldoc.Node) (flex.Key, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.bumpEpochLocked(d)
 	pn, ok, err := s.nodeLocked(d, parent)
 	if err != nil {
 		return "", err
@@ -124,6 +125,7 @@ func (s *Store) childComponents(d DocID, parent flex.Key) (attrs, contents []fle
 func (s *Store) InsertAttribute(d DocID, owner flex.Key, name, value string) (flex.Key, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.bumpEpochLocked(d)
 	on, ok, err := s.nodeLocked(d, owner)
 	if err != nil {
 		return "", err
@@ -164,6 +166,7 @@ func (s *Store) InsertAttribute(d DocID, owner flex.Key, name, value string) (fl
 func (s *Store) UpdateText(d DocID, key flex.Key, newValue string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.bumpEpochLocked(d)
 	n, ok, err := s.nodeLocked(d, key)
 	if err != nil {
 		return err
@@ -201,6 +204,7 @@ func (s *Store) UpdateText(d DocID, key flex.Key, newValue string) error {
 func (s *Store) RenameElement(d DocID, key flex.Key, newName string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.bumpEpochLocked(d)
 	n, ok, err := s.nodeLocked(d, key)
 	if err != nil {
 		return err
@@ -234,6 +238,7 @@ func (s *Store) RenameElement(d DocID, key flex.Key, newName string) error {
 func (s *Store) DeleteSubtree(d DocID, key flex.Key) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.bumpEpochLocked(d)
 	if key == flex.Root {
 		return fmt.Errorf("%w: cannot delete the document node", ErrBadTarget)
 	}

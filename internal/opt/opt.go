@@ -27,6 +27,10 @@ import (
 type Optimizer struct {
 	Store *mass.Store
 	Doc   mass.DocID
+	// Probes overrides the statistics source used for costing; nil means
+	// probing Store directly. The engine passes a shared cost.MemoProbes
+	// here so repeated optimizations between updates reuse probe results.
+	Probes cost.Probes
 	// MaxIterations bounds the rewrite loop; 0 means the default (16).
 	MaxIterations int
 	// Rules overrides the transformation library; nil means Library().
@@ -50,7 +54,11 @@ func (o *Optimizer) Optimize(p *plan.Plan) (*plan.Plan, error) {
 	if maxIter <= 0 {
 		maxIter = defaultMaxIterations
 	}
-	est := &cost.Estimator{Store: o.Store, Doc: o.Doc}
+	probes := o.Probes
+	if probes == nil {
+		probes = o.Store
+	}
+	est := &cost.Estimator{Store: probes, Doc: o.Doc}
 
 	Cleanup(q)
 	for iter := 0; iter < maxIter; iter++ {

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Repo health check: formatting, vet, build, tests (with the race
+# detector) and a serving-path smoke test. Run from anywhere.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== serving smoke (BenchmarkServing, 1 iteration)"
+go test -run '^$' -bench BenchmarkServing -benchtime 1x .
+
+echo "OK"

@@ -47,6 +47,13 @@ type Options struct {
 	// demand). 0 selects a default of ~6K pages. This is the knob that
 	// keeps memory flat however large the documents grow.
 	CachePages int
+	// PlanCacheSize bounds the number of compiled query plans kept by the
+	// serving fast path (DB.Query). 0 selects the default of 256 plans;
+	// negative disables plan caching, making DB.Query compile on every
+	// call. Cached optimized plans are invalidated automatically when
+	// their document is updated (statistics-epoch based), so a hit is
+	// always as fresh as a recompile.
+	PlanCacheSize int
 }
 
 // DB is a VAMANA database: a MASS store holding any number of indexed XML
@@ -57,7 +64,7 @@ type DB struct {
 
 // Open creates or reopens a database.
 func Open(opts Options) (*DB, error) {
-	e, err := core.Open(core.Options{Path: opts.Path, CachePages: opts.CachePages})
+	e, err := core.Open(core.Options{Path: opts.Path, CachePages: opts.CachePages, PlanCacheSize: opts.PlanCacheSize})
 	if err != nil {
 		return nil, err
 	}
@@ -166,6 +173,45 @@ func (db *DB) CompileOptimized(doc *Document, expr string) (*Query, error) {
 	}
 	return &Query{q: q}, nil
 }
+
+// Query is the one-shot serving fast path: it compiles expr with the
+// cost-driven optimizer against doc's statistics and executes it, going
+// through the plan cache. The first call for a given (document,
+// expression) pair pays for parsing, optimization and statistics probes;
+// repeated calls cost one cache lookup plus execution. Updating the
+// document bumps its statistics epoch, which transparently invalidates
+// its cached plans — the next Query re-optimizes against fresh counts.
+//
+// Query is safe for concurrent use from any number of goroutines; cached
+// plans are immutable and shared.
+func (db *DB) Query(doc *Document, expr string) (*Results, error) {
+	it, err := db.engine.Query(doc.id, expr)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{doc: doc, it: it}, nil
+}
+
+// CompileCached is DB.Query's compilation half without the execution: it
+// returns a (possibly cached) compiled query for expr. With optimized
+// true the plan is optimized against doc's statistics and cached per
+// document; otherwise the default plan is built and shared across
+// documents.
+func (db *DB) CompileCached(doc *Document, expr string, optimized bool) (*Query, error) {
+	q, err := db.engine.CompileCached(doc.id, expr, optimized)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// CacheStats reports the serving fast path's effectiveness: plan-cache
+// hits/misses/evictions/invalidations and, one layer down, the
+// statistics-probe memo feeding the optimizer.
+type CacheStats = core.CacheStats
+
+// CacheStats returns the database's current cache counters.
+func (db *DB) CacheStats() CacheStats { return db.engine.CacheStats() }
 
 // Expr returns the query's source expression.
 func (q *Query) Expr() string { return q.q.Expr() }
