@@ -47,8 +47,10 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   vamana load    -db FILE -name NAME XMLFILE   index a document into a database
-  vamana query   (-db FILE -doc NAME | -xml XMLFILE) [-opt] [-values] [-limit N] XPATH
-  vamana explain (-db FILE -doc NAME | -xml XMLFILE) [-default] [-analyze] XPATH
+  vamana query   (-db FILE -doc NAME | -xml XMLFILE) [-opt] [-values] [-limit N]
+                 [-slow DUR] [-trace N] [-cpuprofile F] [-memprofile F] [-metrics-addr A] XPATH
+  vamana explain (-db FILE -doc NAME | -xml XMLFILE) [-default] [-analyze]
+                 [-cpuprofile F] [-memprofile F] [-metrics-addr A] XPATH
   vamana stats   -db FILE -doc NAME [-name ELEM] [-text VALUE]
   vamana docs    -db FILE
 `)
@@ -89,11 +91,23 @@ func cmdLoad(args []string) error {
 	return nil
 }
 
-// openDoc resolves the (-db,-doc) or (-xml) source into a document.
-func openDoc(dbPath, docName, xmlPath string) (*vamana.DB, *vamana.Document, error) {
+// openDoc resolves the (-db,-doc) or (-xml) source into a document. A
+// non-nil obsFlags threads the slow-query/trace settings into the open
+// options and starts the metrics endpoint.
+func openDoc(dbPath, docName, xmlPath string, of *obsFlags) (*vamana.DB, *vamana.Document, error) {
+	open := func(opts vamana.Options) (*vamana.DB, error) {
+		if of != nil {
+			opts = of.apply(opts)
+		}
+		db, err := vamana.Open(opts)
+		if err == nil && of != nil {
+			of.serveMetrics(db)
+		}
+		return db, err
+	}
 	switch {
 	case xmlPath != "":
-		db, err := vamana.Open(vamana.Options{})
+		db, err := open(vamana.Options{})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -110,7 +124,7 @@ func openDoc(dbPath, docName, xmlPath string) (*vamana.DB, *vamana.Document, err
 		}
 		return db, doc, nil
 	case dbPath != "" && docName != "":
-		db, err := vamana.Open(vamana.Options{Path: dbPath})
+		db, err := open(vamana.Options{Path: dbPath})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -133,26 +147,35 @@ func cmdQuery(args []string) error {
 	optimized := fs.Bool("opt", true, "run the cost-driven optimizer")
 	values := fs.Bool("values", false, "print each result's string-value")
 	limit := fs.Int("limit", 0, "stop after N results (0 = all)")
+	var of obsFlags
+	of.register(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("query needs exactly one XPath expression")
 	}
-	db, doc, err := openDoc(*dbPath, *docName, *xmlPath)
+	stop, err := of.start()
+	if err != nil {
+		return err
+	}
+	defer stop()
+	db, doc, err := openDoc(*dbPath, *docName, *xmlPath, &of)
 	if err != nil {
 		return err
 	}
 	defer db.Close()
 
-	var q *vamana.Query
+	var res *vamana.Results
 	if *optimized {
-		q, err = db.CompileOptimized(doc, fs.Arg(0))
+		// The serving path: plan cache, latency histogram, slow-query log.
+		res, err = db.Query(doc, fs.Arg(0))
 	} else {
+		var q *vamana.Query
 		q, err = db.Compile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		res, err = q.Execute(doc)
 	}
-	if err != nil {
-		return err
-	}
-	res, err := q.Execute(doc)
 	if err != nil {
 		return err
 	}
@@ -190,11 +213,18 @@ func cmdExplain(args []string) error {
 	xmlPath := fs.String("xml", "", "explain against an XML file directly")
 	deflt := fs.Bool("default", false, "show the default (unoptimized) plan instead")
 	analyze := fs.Bool("analyze", false, "execute the query and include actual per-operator tuple counts")
+	var of obsFlags
+	of.register(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("explain needs exactly one XPath expression")
 	}
-	db, doc, err := openDoc(*dbPath, *docName, *xmlPath)
+	stop, err := of.start()
+	if err != nil {
+		return err
+	}
+	defer stop()
+	db, doc, err := openDoc(*dbPath, *docName, *xmlPath, &of)
 	if err != nil {
 		return err
 	}
@@ -230,7 +260,7 @@ func cmdStats(args []string) error {
 	elem := fs.String("name", "", "count elements with this name (COUNT probe)")
 	text := fs.String("text", "", "count text nodes with this value (TC probe)")
 	fs.Parse(args)
-	db, doc, err := openDoc(*dbPath, *docName, *xmlPath)
+	db, doc, err := openDoc(*dbPath, *docName, *xmlPath, nil)
 	if err != nil {
 		return err
 	}

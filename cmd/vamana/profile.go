@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"vamana"
+)
+
+// obsFlags are the observability flags shared by every subcommand that
+// opens a database: CPU/heap profiling, a metrics HTTP endpoint, the
+// slow-query log and trace sampling.
+type obsFlags struct {
+	cpuProfile  string
+	memProfile  string
+	metricsAddr string
+	slow        time.Duration
+	traceEvery  int
+
+	cpuFile *os.File
+}
+
+func (o *obsFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve the metrics endpoint on this address (e.g. localhost:9090)")
+	fs.DurationVar(&o.slow, "slow", 0, "log queries at or above this duration to stderr (0 disables)")
+	fs.IntVar(&o.traceEvery, "trace", 0, "print an execution trace for 1 in N queries (0 disables)")
+}
+
+// apply threads the slow-query and trace settings into database options.
+func (o *obsFlags) apply(opts vamana.Options) vamana.Options {
+	if o.slow > 0 {
+		opts.SlowQueryThreshold = o.slow
+		opts.SlowQueryLog = os.Stderr
+	}
+	if o.traceEvery > 0 {
+		opts.TraceEvery = o.traceEvery
+		opts.TraceSink = func(tc *vamana.TraceContext) {
+			fmt.Fprintf(os.Stderr, "trace: %s doc=%d cached=%v compile=%v total=%v results=%d\n",
+				tc.Expr, tc.Doc, tc.CacheHit, tc.Compile, tc.Total, tc.Results)
+		}
+	}
+	return opts
+}
+
+// start begins CPU profiling (if requested). Call the returned stop
+// function before exit; it also writes the heap profile.
+func (o *obsFlags) start() (func(), error) {
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		o.cpuFile = f
+	}
+	return func() {
+		if o.cpuFile != nil {
+			pprof.StopCPUProfile()
+			o.cpuFile.Close()
+		}
+		if o.memProfile != "" {
+			f, err := os.Create(o.memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vamana:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vamana:", err)
+			}
+		}
+	}, nil
+}
+
+// serveMetrics exposes db's metric endpoint for the lifetime of the
+// command (no-op without -metrics-addr).
+func (o *obsFlags) serveMetrics(db *vamana.DB) {
+	if o.metricsAddr == "" {
+		return
+	}
+	go func() {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", db.MetricsHandler())
+		if err := http.ListenAndServe(o.metricsAddr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "vamana: metrics endpoint:", err)
+		}
+	}()
+}

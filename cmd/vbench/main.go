@@ -9,9 +9,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -19,6 +23,7 @@ import (
 	"vamana/internal/bench"
 	"vamana/internal/core"
 	"vamana/internal/mass"
+	"vamana/internal/obs"
 )
 
 func main() {
@@ -31,8 +36,47 @@ func main() {
 		faithful    = flag.Bool("faithful", false, "apply the paper's published per-engine capacity limits")
 		overhead    = flag.Bool("overhead", true, "also report optimization overhead per query")
 		mem         = flag.Bool("mem", false, "also report per-engine memory footprints")
+		jsonOut     = flag.Bool("json", false, "emit the benchmark table as JSON (with cache hit-ratio columns)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metricsAddr = flag.String("metrics-addr", "", "serve the global metrics endpoint on this address")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", obs.Handler())
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "vbench: metrics endpoint:", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vbench:", err)
+			}
+		}()
+	}
 
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
@@ -47,8 +91,10 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("VAMANA evaluation harness — XMark seed %d, %d repetition(s), faithful limits: %v\n\n",
-		*seed, *repeat, *faithful)
+	if !*jsonOut {
+		fmt.Printf("VAMANA evaluation harness — XMark seed %d, %d repetition(s), faithful limits: %v\n\n",
+			*seed, *repeat, *faithful)
+	}
 
 	var fixtures []*bench.Fixture
 	for _, mb := range sizes {
@@ -61,6 +107,13 @@ func main() {
 		fixtures = append(fixtures, f)
 	}
 	fmt.Fprintln(os.Stderr)
+
+	if *jsonOut {
+		if err := emitJSON(os.Stdout, fixtures, queries, engines, *repeat, *seed, *faithful); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	for _, q := range queries {
 		results := bestOf(fixtures, q, engines, *repeat)
@@ -99,6 +152,98 @@ func bestOf(fixtures []*bench.Fixture, q bench.Query, engines []bench.Engine, re
 		}
 	}
 	return out
+}
+
+// jsonRow is one benchmark point in -json output. The hit-ratio columns
+// are present only for the VAMANA engines (VQP, VQP-OPT): the page-cache
+// ratio covers index-node loads during the point's runs, and the memo
+// ratio covers the optimizer's statistics probes (VQP-OPT only).
+type jsonRow struct {
+	Query             string   `json:"query"`
+	XPath             string   `json:"xpath"`
+	Engine            string   `json:"engine"`
+	SizeMB            int      `json:"size_mb"`
+	Count             int      `json:"count"`
+	DurationNS        int64    `json:"duration_ns"`
+	OptTimeNS         int64    `json:"opt_time_ns,omitempty"`
+	Error             string   `json:"error,omitempty"`
+	PageCacheHitRatio *float64 `json:"page_cache_hit_ratio,omitempty"`
+	MemoHitRatio      *float64 `json:"memo_hit_ratio,omitempty"`
+}
+
+type jsonReport struct {
+	Seed     int64     `json:"seed"`
+	Repeat   int       `json:"repeat"`
+	Faithful bool      `json:"faithful"`
+	Results  []jsonRow `json:"results"`
+}
+
+// emitJSON runs the sweep and writes it as one JSON document, capturing
+// storage and plan-cache counter deltas around each point to derive the
+// hit-ratio columns.
+func emitJSON(w *os.File, fixtures []*bench.Fixture, queries []bench.Query, engines []bench.Engine, repeat int, seed int64, faithful bool) error {
+	rep := jsonReport{Seed: seed, Repeat: repeat, Faithful: faithful, Results: []jsonRow{}}
+	for _, q := range queries {
+		for _, f := range fixtures {
+			for _, e := range engines {
+				rep.Results = append(rep.Results, runPointJSON(f, e, q, repeat))
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func runPointJSON(f *bench.Fixture, e bench.Engine, q bench.Query, repeat int) jsonRow {
+	eng, _ := f.VamanaEngine()
+	vamanaEngine := e == bench.EngineVQP || e == bench.EngineVQPOpt
+	var sm0 mass.StoreMetrics
+	var cs0 core.CacheStats
+	if vamanaEngine {
+		sm0 = eng.Store().Metrics()
+		cs0 = eng.CacheStats()
+	}
+	best := f.Run(e, q)
+	for i := 1; i < repeat && best.Err == nil; i++ {
+		r := f.Run(e, q)
+		if r.Err == nil && r.Duration < best.Duration {
+			best = r
+		}
+	}
+	row := jsonRow{
+		Query:      q.ID,
+		XPath:      q.XPath,
+		Engine:     string(e),
+		SizeMB:     f.SizeBytes >> 20,
+		Count:      best.Count,
+		DurationNS: best.Duration.Nanoseconds(),
+		OptTimeNS:  best.OptTime.Nanoseconds(),
+	}
+	if best.Err != nil {
+		row.Error = best.Err.Error()
+	}
+	if vamanaEngine && best.Err == nil {
+		sm1 := eng.Store().Metrics()
+		cs1 := eng.CacheStats()
+		row.PageCacheHitRatio = hitRatio(sm1.Index.CacheHits-sm0.Index.CacheHits,
+			sm1.Index.CacheMisses-sm0.Index.CacheMisses)
+		if e == bench.EngineVQPOpt {
+			row.MemoHitRatio = hitRatio(cs1.ProbeHits-cs0.ProbeHits, cs1.ProbeMisses-cs0.ProbeMisses)
+		}
+	}
+	return row
+}
+
+// hitRatio returns hits/(hits+misses), or nil when the point generated no
+// traffic against the cache at all.
+func hitRatio(hits, misses uint64) *float64 {
+	total := hits + misses
+	if total == 0 {
+		return nil
+	}
+	r := float64(hits) / float64(total)
+	return &r
 }
 
 func printOverhead(fixtures []*bench.Fixture, queries []bench.Query) {

@@ -38,7 +38,34 @@ type Tree struct {
 	maxCache int     // evict above this many cached nodes (file-backed pagers only)
 	clock    []*node // eviction ring
 	hand     int
-	scratch  []byte // page-size buffer reused for I/O
+	scratch  []byte  // page-size buffer reused for I/O
+	m        Metrics // plain counters; callers serialize tree access
+}
+
+// Metrics counts the tree's node-cache and structural activity since it
+// was created or loaded. Trees are externally serialized (see package
+// doc), so plain fields are race-clean under the caller's lock.
+type Metrics struct {
+	CacheHits      uint64 // node loads served from the deserialized-node cache
+	CacheMisses    uint64 // node loads that read and deserialized a page
+	CacheEvictions uint64 // nodes evicted from the cache
+	Splits         uint64 // leaf and branch node splits
+	Seeks          uint64 // cursor seeks (Seek/SeekFirst/SeekLast)
+	Counts         uint64 // counted-range probes (Count/Rank)
+}
+
+// Metrics returns a snapshot of the tree's counters. Like every other
+// tree method it must be called under the owner's serialization.
+func (t *Tree) Metrics() Metrics { return t.m }
+
+// Add accumulates o into m, for aggregating across a store's trees.
+func (m *Metrics) Add(o Metrics) {
+	m.CacheHits += o.CacheHits
+	m.CacheMisses += o.CacheMisses
+	m.CacheEvictions += o.CacheEvictions
+	m.Splits += o.Splits
+	m.Seeks += o.Seeks
+	m.Counts += o.Counts
 }
 
 // defaultMaxCache bounds the node cache for file-backed pagers. Memory
@@ -126,8 +153,10 @@ func (t *Tree) newNode(leaf bool) *node {
 
 func (t *Tree) load(id pager.PageID) (*node, error) {
 	if n, ok := t.cache[id]; ok {
+		t.m.CacheHits++
 		return n, nil
 	}
+	t.m.CacheMisses++
 	if err := t.pg.Read(id, t.scratch); err != nil {
 		return nil, err
 	}
@@ -176,6 +205,7 @@ func (t *Tree) maybeEvict() error {
 			return err
 		}
 		delete(t.cache, n.id)
+		t.m.CacheEvictions++
 		t.clock[t.hand] = t.clock[len(t.clock)-1]
 		t.clock = t.clock[:len(t.clock)-1]
 	}
@@ -369,6 +399,7 @@ func (t *Tree) insertLeaf(n *node, key, value []byte) (bool, *splitResult, error
 // appending workloads (insertion at the right edge) split 9:1 so pages end
 // up nearly full under the document-order bulk loads MASS performs.
 func (t *Tree) splitLeaf(n *node, insertedAt int) *splitResult {
+	t.m.Splits++
 	target := n.bytes / 2
 	if insertedAt >= len(n.keys)-1 {
 		target = n.bytes * 9 / 10
@@ -423,6 +454,7 @@ func (t *Tree) splitLeaf(n *node, insertedAt int) *splitResult {
 }
 
 func (t *Tree) splitBranch(n *node) *splitResult {
+	t.m.Splits++
 	// Split children so both halves are under half the byte budget.
 	target := n.bytes / 2
 	acc := branchHeaderSize + childRefSize

@@ -33,6 +33,7 @@ func (t *Tree) Rank(target []byte) (uint64, error) {
 // two root-to-leaf descents regardless of how many entries lie in the
 // range.
 func (t *Tree) Count(lo, hi []byte) (uint64, error) {
+	t.m.Counts++
 	var lower uint64
 	var err error
 	if lo != nil {

@@ -20,6 +20,7 @@ type Cursor struct {
 // Seek positions the cursor on the first entry with key >= target and
 // reports whether such an entry exists.
 func (c *Cursor) Seek(target []byte) bool {
+	c.t.m.Seeks++
 	c.valid, c.err = false, nil
 	n, err := c.t.load(c.t.root)
 	if err != nil {
@@ -39,6 +40,7 @@ func (c *Cursor) Seek(target []byte) bool {
 
 // SeekFirst positions the cursor on the smallest entry.
 func (c *Cursor) SeekFirst() bool {
+	c.t.m.Seeks++
 	c.valid, c.err = false, nil
 	n, err := c.t.load(c.t.root)
 	if err != nil {
@@ -57,6 +59,7 @@ func (c *Cursor) SeekFirst() bool {
 
 // SeekLast positions the cursor on the largest entry.
 func (c *Cursor) SeekLast() bool {
+	c.t.m.Seeks++
 	c.valid, c.err = false, nil
 	n, err := c.t.load(c.t.root)
 	if err != nil {

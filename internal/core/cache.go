@@ -126,4 +126,5 @@ type CacheStats struct {
 	// Statistics memo (cost.MemoProbes).
 	ProbeHits   uint64
 	ProbeMisses uint64
+	ProbeResets uint64 // memo generations discarded (epoch change or cap)
 }

@@ -8,11 +8,14 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"vamana/internal/cost"
 	"vamana/internal/exec"
 	"vamana/internal/flex"
 	"vamana/internal/mass"
+	"vamana/internal/obs"
 	"vamana/internal/opt"
 	"vamana/internal/plan"
 	"vamana/internal/xpath"
@@ -30,6 +33,20 @@ type Options struct {
 	// path keeps (see Engine.Query). 0 selects the default (256);
 	// negative disables plan caching.
 	PlanCacheSize int
+	// SlowQueryThreshold records Engine.Query calls whose end-to-end
+	// latency meets or exceeds it into the slow-query ring (and
+	// SlowQueryLog, when set). 0 disables slow-query tracking.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog, when non-nil, receives one line per slow query.
+	SlowQueryLog io.Writer
+	// TraceEvery samples a TraceContext for 1-in-N Engine.Query calls
+	// (1 traces every query). 0 disables tracing; the unsampled cache-hit
+	// path then allocates no per-query trace state at all.
+	TraceEvery int
+	// TraceSink receives each sampled TraceContext after its query
+	// finishes. Called from the goroutine that drained the iterator;
+	// implementations should be fast or hand off.
+	TraceSink func(*TraceContext)
 }
 
 // Engine is a VAMANA instance: one MASS store plus the query pipeline.
@@ -41,6 +58,15 @@ type Engine struct {
 	// plans is the serving fast path's compiled-plan cache; nil when
 	// disabled.
 	plans *planCache
+
+	// finishFn is the iterator finish hook, bound once at Open so the
+	// per-query serving path never allocates a method value.
+	finishFn func(*exec.Iterator)
+	// slow is the slow-query recorder; nil when no threshold is set.
+	slow       *slowLog
+	traceEvery uint64
+	traceSink  func(*TraceContext)
+	traceN     atomic.Uint64
 }
 
 // Open creates or reopens an engine.
@@ -52,6 +78,14 @@ func Open(opts Options) (*Engine, error) {
 	e := &Engine{store: s, probes: cost.NewMemoProbes(s)}
 	if opts.PlanCacheSize >= 0 {
 		e.plans = newPlanCache(opts.PlanCacheSize)
+	}
+	e.finishFn = e.queryFinished
+	if opts.SlowQueryThreshold > 0 {
+		e.slow = &slowLog{threshold: opts.SlowQueryThreshold, w: opts.SlowQueryLog}
+	}
+	if opts.TraceEvery > 0 {
+		e.traceEvery = uint64(opts.TraceEvery)
+		e.traceSink = opts.TraceSink
 	}
 	return e, nil
 }
@@ -126,11 +160,24 @@ func (e *Engine) CompileOptimized(doc mass.DocID, expr string) (*Query, error) {
 // validated against the document's statistics epoch, so any update to the
 // document transparently forces a recompile against fresh statistics.
 func (e *Engine) CompileCached(doc mass.DocID, expr string, optimized bool) (*Query, error) {
+	q, _, err := e.compileCached(doc, expr, optimized)
+	return q, err
+}
+
+// compileCached is CompileCached plus a report of whether the plan came
+// from the cache — the compile-vs-serve split the serving metrics track.
+func (e *Engine) compileCached(doc mass.DocID, expr string, optimized bool) (*Query, bool, error) {
 	if e.plans == nil {
+		var (
+			q   *Query
+			err error
+		)
 		if optimized {
-			return e.CompileOptimized(doc, expr)
+			q, err = e.CompileOptimized(doc, expr)
+		} else {
+			q, err = e.Compile(expr)
 		}
-		return e.Compile(expr)
+		return q, false, err
 	}
 	k := planKey{expr: expr, optimized: optimized}
 	var epoch uint64
@@ -142,7 +189,7 @@ func (e *Engine) CompileCached(doc mass.DocID, expr string, optimized bool) (*Qu
 		epoch = e.store.Epoch(doc)
 	}
 	if q, ok := e.plans.get(k, epoch); ok {
-		return q, nil
+		return q, true, nil
 	}
 	var (
 		q   *Query
@@ -154,22 +201,106 @@ func (e *Engine) CompileCached(doc mass.DocID, expr string, optimized bool) (*Qu
 		q, err = e.Compile(expr)
 	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	e.plans.put(k, q, epoch)
-	return q, nil
+	return q, false, nil
 }
 
 // Query is the one-shot serving fast path: compile expr with the
 // cost-driven optimizer (through the plan cache) and execute it against
 // doc. Steady-state serving of a repeated query costs one cache lookup
 // plus execution — no parsing, no optimization, no statistics probes.
+//
+// Every call is instrumented: the compile-vs-serve split and an
+// end-to-end latency histogram feed the global metrics, queries over
+// Options.SlowQueryThreshold land in the slow-query log, and 1-in-
+// TraceEvery calls carry a sampled TraceContext. On the common path
+// (cache hit, unsampled) the instrumentation adds two time.Now calls
+// and a handful of counter updates — no allocations.
 func (e *Engine) Query(doc mass.DocID, expr string) (*exec.Iterator, error) {
-	q, err := e.CompileCached(doc, expr, true)
+	start := time.Now()
+	q, hit, err := e.compileCached(doc, expr, true)
 	if err != nil {
 		return nil, err
 	}
-	return q.Execute(doc)
+	if hit {
+		obs.QueriesServedCached.Inc()
+	} else {
+		obs.QueriesCompiled.Inc()
+	}
+	ctx := exec.Context{
+		Store:       e.store,
+		Doc:         doc,
+		OnFinish:    e.finishFn,
+		FinishStart: start,
+		FinishObj:   q,
+	}
+	// A sampled query (and the rare compile miss, whose cost dwarfs one
+	// allocation) carries a TraceContext instead of the bare Query, so
+	// the finish hook can report compile time and cache-hit status.
+	sampled := e.traceEvery > 0 && e.traceN.Add(1)%e.traceEvery == 0
+	if sampled || !hit {
+		tc := &TraceContext{
+			Expr:     expr,
+			Doc:      doc,
+			Start:    start,
+			CacheHit: hit,
+			Compile:  time.Since(start),
+			sampled:  sampled,
+		}
+		if sampled {
+			obs.TracesSampled.Inc()
+		}
+		ctx.FinishObj = tc
+	}
+	return exec.Run(q.plan, ctx)
+}
+
+// queryFinished is the serving path's iterator finish hook: it closes out
+// the query's latency observation, slow-query record, and sampled trace.
+func (e *Engine) queryFinished(it *exec.Iterator) {
+	total := time.Since(it.StartTime())
+	obs.QueryLatency.Observe(total)
+	var (
+		expr string
+		hit  bool
+		tc   *TraceContext
+	)
+	switch o := it.FinishObj().(type) {
+	case *TraceContext:
+		tc = o
+		expr, hit = o.Expr, o.CacheHit
+		tc.Total = total
+		tc.Results = it.Results()
+		tc.Err = it.Err()
+	case *Query:
+		// The unsampled cache-hit fast path carries the shared Query.
+		expr, hit = o.expr, true
+	}
+	if e.slow != nil && total >= e.slow.threshold {
+		obs.SlowQueries.Inc()
+		e.slow.record(SlowQuery{
+			Expr:     expr,
+			Doc:      it.Doc(),
+			Start:    it.StartTime(),
+			Total:    total,
+			Results:  it.Results(),
+			CacheHit: hit,
+		})
+	}
+	if tc != nil && tc.sampled && e.traceSink != nil {
+		e.traceSink(tc)
+	}
+}
+
+// SlowQueries returns the recorded slow queries, most recent first (empty
+// unless Options.SlowQueryThreshold is set).
+func (e *Engine) SlowQueries() []SlowQuery {
+	if e.slow == nil {
+		return nil
+	}
+	return e.slow.snapshot()
 }
 
 // CacheStats reports plan-cache and statistics-memo counters.
@@ -181,8 +312,50 @@ func (e *Engine) CacheStats() CacheStats {
 		st.Evictions = e.plans.evictions.Load()
 		st.Invalidations = e.plans.invalidations.Load()
 	}
-	st.ProbeHits, st.ProbeMisses = e.probes.Stats()
+	st.ProbeHits, st.ProbeMisses, st.ProbeResets = e.probes.Counters()
 	return st
+}
+
+// WriteMetrics writes the full metric exposition for this engine in
+// Prometheus text format: the process-global counters and histograms,
+// followed by this engine's storage counters (pager I/O, index node
+// cache, records decoded, statistics probes) and cache statistics.
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	if err := obs.WriteText(w); err != nil {
+		return err
+	}
+	m := e.store.Metrics()
+	st := e.CacheStats()
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"vamana_pager_page_reads_total", "Pages read from the pager.", m.Pager.Reads},
+		{"vamana_pager_page_writes_total", "Pages written to the pager.", m.Pager.Writes},
+		{"vamana_pager_page_allocs_total", "Pages allocated (fresh or recycled).", m.Pager.Allocs},
+		{"vamana_pager_page_frees_total", "Pages returned to the free list.", m.Pager.Frees},
+		{"vamana_pager_pages", "Current page count including the meta page.", m.Pager.Pages},
+		{"vamana_btree_cache_hits_total", "Index node loads served from cache.", m.Index.CacheHits},
+		{"vamana_btree_cache_misses_total", "Index node loads that read a page.", m.Index.CacheMisses},
+		{"vamana_btree_cache_evictions_total", "Index nodes evicted from cache.", m.Index.CacheEvictions},
+		{"vamana_btree_node_splits_total", "Leaf and branch node splits.", m.Index.Splits},
+		{"vamana_btree_cursor_seeks_total", "Cursor seeks across all index trees.", m.Index.Seeks},
+		{"vamana_btree_count_probes_total", "Counted-range probes (Count/Rank).", m.Index.Counts},
+		{"vamana_mass_records_decoded_total", "Clustered-index records decoded.", m.RecordsDecoded},
+		{"vamana_mass_stat_probes_total", "Statistics probes that reached storage (memo misses).", m.StatProbes},
+		{"vamana_plan_cache_hits_total", "Plan-cache lookups served from cache.", st.Hits},
+		{"vamana_plan_cache_misses_total", "Plan-cache lookups that compiled.", st.Misses},
+		{"vamana_plan_cache_evictions_total", "Plan-cache entries dropped by LRU capacity.", st.Evictions},
+		{"vamana_plan_cache_invalidations_total", "Plan-cache entries dropped by epoch change.", st.Invalidations},
+		{"vamana_stats_memo_hits_total", "Statistics-memo probe hits.", st.ProbeHits},
+		{"vamana_stats_memo_misses_total", "Statistics-memo probe misses.", st.ProbeMisses},
+		{"vamana_stats_memo_resets_total", "Statistics-memo generations discarded.", st.ProbeResets},
+	} {
+		if err := obs.WriteCounterText(w, c.name, c.help, c.v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Expr returns the source expression.
@@ -227,36 +400,17 @@ func (q *Query) Explain(doc mass.DocID) (string, error) {
 }
 
 // ExplainAnalyze estimates the plan, executes it to completion, and
-// renders estimated bounds next to actual per-operator tuple counts —
-// the empirical check that the cost model's OUT values really are upper
-// bounds. The annotated clone is what executes, so the per-operator stats
-// refer to operators carrying fresh estimates while the shared plan stays
-// untouched.
+// renders each operator's estimated bounds next to its actual execution
+// counters — the empirical check that the cost model's OUT values really
+// are upper bounds. The annotated clone is what executes, so the
+// per-operator stats refer to operators carrying fresh estimates while
+// the shared plan stays untouched. Use Analyze for the structured form.
 func (q *Query) ExplainAnalyze(doc mass.DocID) (string, error) {
-	p, err := q.Estimate(doc)
+	a, err := q.Analyze(doc)
 	if err != nil {
 		return "", err
 	}
-	it, err := exec.Run(p, exec.Context{Store: q.engine.store, Doc: doc})
-	if err != nil {
-		return "", err
-	}
-	results := 0
-	for it.Next() {
-		results++
-	}
-	if err := it.Err(); err != nil {
-		return "", err
-	}
-	out := fmt.Sprintf("query: %s\noptimized: %v\nresults: %d\n", q.expr, q.optimized, results)
-	out += p.String()
-	out += "actual tuple counts (context path and predicate steps):\n"
-	for _, st := range it.Stats() {
-		c := st.Op.Cost
-		out += fmt.Sprintf("  %-40s IN=%d/%d  scanned=%d  OUT=%d/%d\n",
-			st.Op.Label(), st.In, c.In, st.Scanned, st.Out, c.Out)
-	}
-	return out, nil
+	return fmt.Sprintf("query: %s\noptimized: %v\n", q.expr, q.optimized) + a.String(), nil
 }
 
 // Execute runs the query against doc with the document root as initial

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"vamana/internal/mass"
+)
+
+// TraceContext is a per-query execution trace, produced for 1-in-N
+// Engine.Query calls when sampling is configured (Options.TraceEvery).
+// Sampled queries carry their TraceContext through the iterator's finish
+// hook; unsampled cache-hit queries allocate nothing.
+type TraceContext struct {
+	Expr     string
+	Doc      mass.DocID
+	Start    time.Time
+	CacheHit bool          // plan came from the plan cache
+	Compile  time.Duration // time to produce the plan (lookup or compile)
+	Total    time.Duration // end-to-end, set when the iterator finishes
+	Results  uint64        // result tuples delivered
+	Err      error         // execution error, if any
+
+	// sampled distinguishes a 1-in-N trace (delivered to TraceSink and
+	// counted) from a TraceContext allocated only to carry cache-miss
+	// detail to the slow-query log.
+	sampled bool
+}
+
+// SlowQuery is one entry of the engine's slow-query ring.
+type SlowQuery struct {
+	Expr     string
+	Doc      mass.DocID
+	Start    time.Time
+	Total    time.Duration
+	Results  uint64
+	CacheHit bool
+}
+
+// slowRingCap bounds the in-memory slow-query ring. Old entries are
+// overwritten; the log writer (Options.SlowQueryLog) sees every entry.
+const slowRingCap = 128
+
+// slowLog collects queries exceeding the configured threshold: a bounded
+// ring for programmatic access plus an optional line-oriented writer.
+type slowLog struct {
+	threshold time.Duration
+	w         io.Writer
+
+	mu   sync.Mutex
+	ring [slowRingCap]SlowQuery
+	n    uint64 // total recorded; ring index is n % slowRingCap
+}
+
+func (l *slowLog) record(sq SlowQuery) {
+	l.mu.Lock()
+	l.ring[l.n%slowRingCap] = sq
+	l.n++
+	w := l.w
+	l.mu.Unlock()
+	if w != nil {
+		fmt.Fprintf(w, "slow query: %s doc=%d total=%v results=%d cached=%v\n",
+			sq.Expr, sq.Doc, sq.Total, sq.Results, sq.CacheHit)
+	}
+}
+
+// snapshot returns the recorded slow queries, most recent first.
+func (l *slowLog) snapshot() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.n
+	if n > slowRingCap {
+		n = slowRingCap
+	}
+	out := make([]SlowQuery, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, l.ring[(l.n-1-i)%slowRingCap])
+	}
+	return out
+}

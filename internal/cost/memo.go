@@ -2,6 +2,7 @@ package cost
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"vamana/internal/flex"
 	"vamana/internal/mass"
@@ -26,10 +27,13 @@ const maxMemoEntries = 4096
 type MemoProbes struct {
 	store *mass.Store
 
-	mu     sync.Mutex
-	docs   map[mass.DocID]*docMemo
-	hits   uint64
-	misses uint64
+	mu   sync.Mutex
+	docs map[mass.DocID]*docMemo
+
+	// Atomic so CacheStats-style readers never contend with probes.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	resets atomic.Uint64 // epoch invalidations + full-generation discards
 }
 
 type docMemo struct {
@@ -65,9 +69,13 @@ func NewMemoProbes(store *mass.Store) *MemoProbes {
 
 // Stats reports cache hits and misses since creation.
 func (m *MemoProbes) Stats() (hits, misses uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.hits, m.misses
+	return m.hits.Load(), m.misses.Load()
+}
+
+// Counters reports hits, misses and resets (memo generations discarded by
+// epoch invalidation or the per-document entry cap) since creation.
+func (m *MemoProbes) Counters() (hits, misses, resets uint64) {
+	return m.hits.Load(), m.misses.Load(), m.resets.Load()
 }
 
 // get serves key from d's current-epoch memo or computes it via probe.
@@ -81,15 +89,18 @@ func (m *MemoProbes) get(d mass.DocID, key probeKey, probe func() (uint64, error
 	m.mu.Lock()
 	dm := m.docs[d]
 	if dm == nil || dm.epoch != epoch {
+		if dm != nil {
+			m.resets.Add(1)
+		}
 		dm = &docMemo{epoch: epoch, counts: make(map[probeKey]uint64)}
 		m.docs[d] = dm
 	}
 	if v, ok := dm.counts[key]; ok {
-		m.hits++
+		m.hits.Add(1)
 		m.mu.Unlock()
 		return v, nil
 	}
-	m.misses++
+	m.misses.Add(1)
 	m.mu.Unlock()
 
 	v, err := probe()
@@ -102,6 +113,7 @@ func (m *MemoProbes) get(d mass.DocID, key probeKey, probe func() (uint64, error
 	// which case the result belongs to a dead generation and is dropped.
 	if dm := m.docs[d]; dm != nil && dm.epoch == epoch && m.store.Epoch(d) == epoch {
 		if len(dm.counts) >= maxMemoEntries {
+			m.resets.Add(1)
 			dm.counts = make(map[probeKey]uint64)
 		}
 		dm.counts[key] = v

@@ -9,9 +9,12 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"time"
 
 	"vamana/internal/flex"
 	"vamana/internal/mass"
+	"vamana/internal/obs"
 	"vamana/internal/plan"
 	"vamana/internal/xmldoc"
 	"vamana/internal/xpath"
@@ -33,6 +36,19 @@ type Context struct {
 	// (and the XPath data model's node-set semantics) leave this
 	// implementation-defined, so ordering is opt-in.
 	Ordered bool
+	// OnFinish, when set, is invoked exactly once when the iterator
+	// finishes (exhaustion or error) — after the run's batched metrics
+	// are flushed. The serving layer uses it to close out per-query
+	// latency and trace records without allocating a closure per query:
+	// the hook is a long-lived method value, and per-run state travels
+	// in FinishStart/FinishObj.
+	OnFinish func(*Iterator)
+	// FinishStart is carried through to Iterator.StartTime for the
+	// OnFinish hook (typically the query's start timestamp).
+	FinishStart time.Time
+	// FinishObj is carried through to Iterator.FinishObj for the
+	// OnFinish hook. Storing a pointer here does not allocate.
+	FinishObj any
 }
 
 // State is an operator's execution state (paper §VII).
@@ -64,11 +80,17 @@ func (s State) String() string {
 // pointer into the Iterator, which escapes to the heap exactly once per
 // run.
 type Iterator struct {
-	env  env
-	root execNode
-	cur  flex.Key
-	err  error
-	done bool
+	env      env
+	root     execNode
+	cur      flex.Key
+	err      error
+	done     bool
+	finished bool // finishRun already fired
+
+	nResults    uint64
+	onFinish    func(*Iterator)
+	finishStart time.Time
+	finishObj   any
 }
 
 // Run builds an executable pipeline for p and returns its iterator.
@@ -80,7 +102,12 @@ func Run(p *plan.Plan, ctx Context) (*Iterator, error) {
 	if start == "" {
 		start = flex.Root
 	}
-	it := &Iterator{env: env{store: ctx.Store, doc: ctx.Doc, start: start, vars: ctx.Vars, building: true}}
+	it := &Iterator{
+		env:         env{store: ctx.Store, doc: ctx.Doc, start: start, vars: ctx.Vars, building: true},
+		onFinish:    ctx.OnFinish,
+		finishStart: ctx.FinishStart,
+		finishObj:   ctx.FinishObj,
+	}
 	e := &it.env
 	if n := countSteps(p.Root); n > 0 {
 		e.arena = make([]stepExec, 0, n)
@@ -145,15 +172,76 @@ func (it *Iterator) Next() bool {
 	if err != nil {
 		it.err = err
 		it.done = true
+		it.finishRun()
 		return false
 	}
 	if !ok {
 		it.done = true
+		it.finishRun()
 		return false
 	}
 	it.cur = k
+	it.nResults++
 	return true
 }
+
+// finishRun fires once per iterator, when the run completes (exhaustion
+// or error): it flushes the run's batched counters to the global metrics
+// and invokes the OnFinish hook. Iterators abandoned before completion
+// simply never flush — the serving path always drains.
+func (it *Iterator) finishRun() {
+	if it.finished {
+		return
+	}
+	it.finished = true
+	if obs.Enabled() {
+		obs.ExecRuns.Inc()
+		obs.ExecResults.Add(it.nResults)
+		var scanned uint64
+		for _, s := range it.env.steps {
+			scanned += s.nScanned
+		}
+		obs.ExecEntriesScanned.Add(scanned)
+		var binds uint64
+		for a, n := range it.env.axisBinds {
+			if n != 0 {
+				binds += n
+				axisScanCounters[a].Add(n)
+			}
+		}
+		obs.ExecAxisScans.Add(binds)
+	}
+	if it.onFinish != nil {
+		it.onFinish(it)
+	}
+}
+
+// Results returns the number of result tuples delivered so far.
+func (it *Iterator) Results() uint64 { return it.nResults }
+
+// Doc returns the document the iterator runs against.
+func (it *Iterator) Doc() mass.DocID { return it.env.doc }
+
+// StartTime returns the Context.FinishStart timestamp the iterator was
+// created with (zero if none was set).
+func (it *Iterator) StartTime() time.Time { return it.finishStart }
+
+// FinishObj returns the opaque value the iterator was created with via
+// Context.FinishObj.
+func (it *Iterator) FinishObj() any { return it.finishObj }
+
+// axisScanCounters are the per-axis global scan-bind counters, flushed
+// from the env's batch at run finish. Axis names are sanitized for the
+// exposition format ('-' is not a valid metric-name character).
+var axisScanCounters = func() [mass.AxisCount]*obs.Counter {
+	var a [mass.AxisCount]*obs.Counter
+	for i := range a {
+		name := strings.ReplaceAll(mass.Axis(i).String(), "-", "_")
+		a[i] = obs.NewCounter("vamana_exec_axis_scans_"+name+"_total",
+			"Axis-scan bindings on the "+mass.Axis(i).String()+" axis across completed runs.")
+	}
+	return a
+}()
 
 // Key returns the FLEX key of the current tuple.
 func (it *Iterator) Key() flex.Key { return it.cur }
@@ -200,6 +288,10 @@ type env struct {
 	// (newStep falls back to individual allocations once full), so
 	// pointers into it stay valid.
 	arena []stepExec
+	// axisBinds batches per-axis scan-bind counts for the whole run
+	// (including transient predicate subplans, which share this env);
+	// flushed to the global counters once, at run finish.
+	axisBinds [mass.AxisCount]uint64
 }
 
 // newStep carves a step executor out of the arena, or allocates one when
@@ -446,6 +538,7 @@ func (s *stepExec) next() (flex.Key, bool, error) {
 				ctx = k
 			}
 			s.nIn++
+			s.env.axisBinds[s.op.Axis]++
 			s.state = Fetching
 			if s.op.Axis == mass.AxisNumRange {
 				s.scan = s.env.store.NumericRangeScan(s.env.doc, ctx,

@@ -43,6 +43,10 @@ const (
 	AxisNumRange
 )
 
+// AxisCount is the number of axes (real and pseudo), for sizing per-axis
+// counter arrays in instrumentation code.
+const AxisCount = int(AxisNumRange) + 1
+
 var axisNames = [...]string{
 	AxisChild:            "child",
 	AxisDescendant:       "descendant",

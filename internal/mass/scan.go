@@ -133,6 +133,7 @@ func (s *Store) namespaceScan(d DocID, ctx flex.Key, test NodeTest) *Scan {
 				s.mu.Unlock()
 				return errScan(err)
 			}
+			s.recordsDecoded++
 			n, err := decodeRecord(v)
 			if err != nil || n.Kind != xmldoc.KindNamespace || seen[n.Name] {
 				continue

@@ -467,6 +467,7 @@ func (sc *Scanner) accept(k, v []byte) (xmldoc.Node, bool, error) {
 		return xmldoc.Node{Key: fk, Kind: xmldoc.KindText}, true, nil
 	case acceptNode:
 		_, fk := splitClusteredKey(k)
+		sc.store.recordsDecoded++
 		n, err := decodeRecord(v)
 		if err != nil {
 			return xmldoc.Node{}, false, nil
@@ -532,6 +533,7 @@ func (sc *Scanner) nextSkip() (xmldoc.Node, bool, error) {
 		if err != nil {
 			return xmldoc.Node{}, false, err
 		}
+		s.recordsDecoded++
 		n, err := decodeRecord(v)
 		if err != nil {
 			return xmldoc.Node{}, false, err
@@ -577,6 +579,7 @@ func (sc *Scanner) nextAttribute() (xmldoc.Node, bool, error) {
 		if err != nil {
 			return xmldoc.Node{}, false, err
 		}
+		s.recordsDecoded++
 		n, err := decodeRecord(v)
 		if err != nil {
 			return xmldoc.Node{}, false, err

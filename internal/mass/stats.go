@@ -23,6 +23,7 @@ func (s *Store) CountName(d DocID, name string) (uint64, error) {
 func (s *Store) CountNameWithin(d DocID, name string, ctx flex.Key) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.statProbes++
 	var lo, hi []byte
 	if ctx == "" {
 		lo, hi = nameRange(name, d, "", "")
@@ -37,6 +38,7 @@ func (s *Store) CountNameWithin(d DocID, name string, ctx flex.Key) (uint64, err
 func (s *Store) CountElements(d DocID, ctx flex.Key) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.statProbes++
 	klo, khi := subtreeBounds(ctx)
 	lo, hi := docKeyRange(d, klo, khi)
 	return s.elems.Count(lo, hi)
@@ -46,6 +48,7 @@ func (s *Store) CountElements(d DocID, ctx flex.Key) (uint64, error) {
 func (s *Store) CountTexts(d DocID, ctx flex.Key) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.statProbes++
 	klo, khi := subtreeBounds(ctx)
 	lo, hi := docKeyRange(d, klo, khi)
 	return s.texts.Count(lo, hi)
@@ -56,6 +59,7 @@ func (s *Store) CountTexts(d DocID, ctx flex.Key) (uint64, error) {
 func (s *Store) CountNodes(d DocID) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.statProbes++
 	lo, hi := clusteredDocRange(d)
 	return s.clustered.Count(lo, hi)
 }
@@ -65,6 +69,7 @@ func (s *Store) CountNodes(d DocID) (uint64, error) {
 func (s *Store) CountAttrName(d DocID, name string) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.statProbes++
 	lo, hi := nameRange(name, d, "", "")
 	return s.attrs.Count(lo, hi)
 }
@@ -77,6 +82,7 @@ func (s *Store) CountAttrName(d DocID, name string) (uint64, error) {
 func (s *Store) TextCount(d DocID, v string, ctx flex.Key) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.statProbes++
 	var lo, hi []byte
 	if ctx == "" {
 		lo, hi = valueRange(valueTagText, v, d, "", "")
@@ -90,6 +96,7 @@ func (s *Store) TextCount(d DocID, v string, ctx flex.Key) (uint64, error) {
 func (s *Store) AttrValueCount(d DocID, v string, ctx flex.Key) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.statProbes++
 	var lo, hi []byte
 	if ctx == "" {
 		lo, hi = valueRange(valueTagAttr, v, d, "", "")
@@ -117,6 +124,7 @@ func (s *Store) TestCount(d DocID, test NodeTest, ctx flex.Key) (uint64, error) 
 		// common name/wildcard/text cases the optimizer reasons about).
 		s.mu.Lock()
 		defer s.mu.Unlock()
+		s.statProbes++
 		klo, khi := subtreeBounds(ctx)
 		lo, hi := docKeyRange(d, klo, khi)
 		return s.clustered.Count(lo, hi)

@@ -56,6 +56,41 @@ type Store struct {
 	// keyBuf is a scratch buffer for transient clustered-key lookups.
 	// Only valid under mu and only for keys not retained by the callee.
 	keyBuf []byte
+
+	// recordsDecoded and statProbes are plain counters guarded by mu:
+	// node records decoded from the clustered index, and statistics
+	// probes (COUNT/TC) executed against storage. Probes answered by the
+	// optimizer's memo never reach the store, so this is the memo-miss
+	// side of the probe split.
+	recordsDecoded uint64
+	statProbes     uint64
+}
+
+// StoreMetrics is a snapshot of the store's storage-level activity:
+// pager I/O, B+-tree node-cache traffic aggregated across all seven
+// index trees, clustered records decoded, and statistics probes that
+// reached storage.
+type StoreMetrics struct {
+	Pager          pager.Metrics
+	Index          btree.Metrics
+	RecordsDecoded uint64
+	StatProbes     uint64
+}
+
+// Metrics returns a snapshot of the store's storage counters.
+func (s *Store) Metrics() StoreMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := StoreMetrics{
+		Pager:          s.pg.Metrics(),
+		RecordsDecoded: s.recordsDecoded,
+		StatProbes:     s.statProbes,
+	}
+	m.Index.Add(s.catalog.Metrics())
+	for _, slot := range s.treeNames() {
+		m.Index.Add((*slot).Metrics())
+	}
+	return m
 }
 
 // Options configures a Store.
@@ -425,6 +460,7 @@ func (s *Store) nodeLocked(d DocID, k flex.Key) (xmldoc.Node, bool, error) {
 	s.keyBuf = append(append(s.keyBuf, db[:]...), k...)
 	var n xmldoc.Node
 	var decodeErr error
+	s.recordsDecoded++
 	ok, err := s.clustered.View(s.keyBuf, func(v []byte) {
 		n, decodeErr = decodeRecord(v)
 	})

@@ -1,0 +1,29 @@
+package obs
+
+// Process-global metrics reported by the execution and serving layers.
+// Per-store counters (pager I/O, B+-tree node cache, record decodes,
+// statistics probes) are per-instance and exposed through
+// mass.Store.Metrics / core.Engine.WriteMetrics instead.
+var (
+	// Execution layer — flushed once per iterator run, not per tuple.
+	ExecRuns = NewCounter("vamana_exec_runs_total",
+		"Iterator pipelines executed to completion or error.")
+	ExecResults = NewCounter("vamana_exec_results_total",
+		"Result tuples produced by completed iterator runs.")
+	ExecEntriesScanned = NewCounter("vamana_exec_index_entries_scanned_total",
+		"Index entries scanned by leaf operators across completed runs.")
+	ExecAxisScans = NewCounter("vamana_exec_axis_scans_total",
+		"Axis-scan bindings performed across completed runs (all axes).")
+
+	// Serving layer (core.Engine.Query).
+	QueryLatency = NewHistogram("vamana_query_latency_ns",
+		"End-to-end latency of DB.Query calls in nanoseconds.")
+	QueriesServedCached = NewCounter("vamana_queries_served_cached_total",
+		"DB.Query calls whose plan came from the plan cache.")
+	QueriesCompiled = NewCounter("vamana_queries_compiled_total",
+		"DB.Query calls that compiled and optimized a fresh plan.")
+	SlowQueries = NewCounter("vamana_slow_queries_total",
+		"Queries exceeding the configured slow-query threshold.")
+	TracesSampled = NewCounter("vamana_traces_sampled_total",
+		"Queries that carried a sampled TraceContext.")
+)

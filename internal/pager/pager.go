@@ -44,6 +44,26 @@ type Pager struct {
 	free     []PageID // free list (in-memory; persisted in page 0 on Flush)
 	userMeta [userMetaSize]byte
 	closed   bool
+	m        Metrics // plain counters, guarded by mu
+}
+
+// Metrics counts the pager's I/O activity since open. All fields are
+// cumulative; Pages is the current page count (including the meta page).
+type Metrics struct {
+	Reads  uint64 // page reads served (memory copies or file reads)
+	Writes uint64 // page writes performed (write-through)
+	Allocs uint64 // pages allocated (fresh or recycled)
+	Frees  uint64 // pages returned to the free list
+	Pages  uint64 // current page count including the reserved meta page
+}
+
+// Metrics returns a snapshot of the pager's I/O counters.
+func (p *Pager) Metrics() Metrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.m
+	m.Pages = uint64(p.npages)
+	return m
 }
 
 // userMetaSize is the number of client metadata bytes persisted in page 0.
@@ -181,6 +201,7 @@ func (p *Pager) Allocate() (PageID, error) {
 	if p.closed {
 		return InvalidPage, ErrClosed
 	}
+	p.m.Allocs++
 	if n := len(p.free); n > 0 {
 		id := p.free[n-1]
 		p.free = p.free[:n-1]
@@ -204,6 +225,7 @@ func (p *Pager) Free(id PageID) error {
 	if id == 0 || id >= p.npages {
 		return ErrPageRange
 	}
+	p.m.Frees++
 	p.free = append(p.free, id)
 	return nil
 }
@@ -219,6 +241,7 @@ func (p *Pager) Read(id PageID, buf []byte) error {
 	if id >= p.npages {
 		return ErrPageRange
 	}
+	p.m.Reads++
 	return p.readPage(id, buf)
 }
 
@@ -232,6 +255,7 @@ func (p *Pager) Write(id PageID, buf []byte) error {
 	if id >= p.npages {
 		return ErrPageRange
 	}
+	p.m.Writes++
 	return p.writePage(id, buf)
 }
 

@@ -25,4 +25,9 @@ go test -race ./...
 echo "== serving smoke (BenchmarkServing, 1 iteration)"
 go test -run '^$' -bench BenchmarkServing -benchtime 1x .
 
+echo "== metrics overhead gate (warm serving, obs on vs off, 5% budget)"
+# Interleaved in-process rounds with collection toggled, best per mode —
+# see TestMetricsOverheadGate.
+VAMANA_METRICS_GATE=1 go test -run '^TestMetricsOverheadGate$' -v -count 1 .
+
 echo "OK"

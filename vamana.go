@@ -28,6 +28,8 @@ package vamana
 import (
 	"fmt"
 	"io"
+	"net/http"
+	"time"
 
 	"vamana/internal/core"
 	"vamana/internal/exec"
@@ -54,7 +56,34 @@ type Options struct {
 	// their document is updated (statistics-epoch based), so a hit is
 	// always as fresh as a recompile.
 	PlanCacheSize int
+	// SlowQueryThreshold records DB.Query calls at or above this
+	// end-to-end latency into the slow-query ring (DB.SlowQueries) and,
+	// when SlowQueryLog is set, as one line per query there. 0 disables
+	// slow-query tracking.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives one line per slow query (e.g. os.Stderr or a
+	// log file). Ignored unless SlowQueryThreshold is set.
+	SlowQueryLog io.Writer
+	// TraceEvery samples a full TraceContext for 1 in N DB.Query calls
+	// (1 traces every query, 0 disables). When a query is not sampled the
+	// serving hot path allocates no trace state, so sampling bounds the
+	// observability overhead regardless of query rate.
+	TraceEvery int
+	// TraceSink receives each sampled trace after its query finishes.
+	TraceSink func(*TraceContext)
 }
+
+// TraceContext is a sampled per-query execution trace: compile-vs-serve
+// split, cache-hit status, end-to-end latency, and result count.
+type TraceContext = core.TraceContext
+
+// SlowQuery is one recorded slow query (see Options.SlowQueryThreshold).
+type SlowQuery = core.SlowQuery
+
+// StorageMetrics snapshots a database's storage-level activity counters:
+// pager I/O, B+-tree node-cache traffic, records decoded, statistics
+// probes that reached storage.
+type StorageMetrics = mass.StoreMetrics
 
 // DB is a VAMANA database: a MASS store holding any number of indexed XML
 // documents plus the query pipeline. It is safe for concurrent use.
@@ -64,7 +93,15 @@ type DB struct {
 
 // Open creates or reopens a database.
 func Open(opts Options) (*DB, error) {
-	e, err := core.Open(core.Options{Path: opts.Path, CachePages: opts.CachePages, PlanCacheSize: opts.PlanCacheSize})
+	e, err := core.Open(core.Options{
+		Path:               opts.Path,
+		CachePages:         opts.CachePages,
+		PlanCacheSize:      opts.PlanCacheSize,
+		SlowQueryThreshold: opts.SlowQueryThreshold,
+		SlowQueryLog:       opts.SlowQueryLog,
+		TraceEvery:         opts.TraceEvery,
+		TraceSink:          opts.TraceSink,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -212,6 +249,31 @@ type CacheStats = core.CacheStats
 
 // CacheStats returns the database's current cache counters.
 func (db *DB) CacheStats() CacheStats { return db.engine.CacheStats() }
+
+// StorageMetrics returns the database's storage counters: page reads and
+// writes, index node-cache hits/misses/evictions, node splits, cursor
+// seeks, counted-range probes, records decoded, and statistics probes
+// that reached storage (memo misses).
+func (db *DB) StorageMetrics() StorageMetrics { return db.engine.Store().Metrics() }
+
+// SlowQueries returns the recorded slow queries, most recent first.
+// Empty unless Options.SlowQueryThreshold was set.
+func (db *DB) SlowQueries() []SlowQuery { return db.engine.SlowQueries() }
+
+// WriteMetrics writes the full metric exposition in Prometheus text
+// format: the process-global execution and serving metrics followed by
+// this database's storage and cache counters.
+func (db *DB) WriteMetrics(w io.Writer) error { return db.engine.WriteMetrics(w) }
+
+// MetricsHandler returns an HTTP handler serving WriteMetrics — mount it
+// on a mux (or pass to http.ListenAndServe) to expose the database's
+// metrics endpoint.
+func (db *DB) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = db.WriteMetrics(w)
+	})
+}
 
 // Expr returns the query's source expression.
 func (q *Query) Expr() string { return q.q.Expr() }
