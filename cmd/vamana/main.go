@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"vamana"
 )
@@ -48,6 +50,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   vamana load    -db FILE -name NAME XMLFILE   index a document into a database
   vamana query   (-db FILE -doc NAME | -xml XMLFILE) [-opt] [-values] [-limit N]
+                 [-timeout DUR] [-max-results N] [-max-pages N] [-max-records N]
                  [-slow DUR] [-trace N] [-cpuprofile F] [-memprofile F] [-metrics-addr A] XPATH
   vamana explain (-db FILE -doc NAME | -xml XMLFILE) [-default] [-analyze]
                  [-cpuprofile F] [-memprofile F] [-metrics-addr A] XPATH
@@ -147,6 +150,10 @@ func cmdQuery(args []string) error {
 	optimized := fs.Bool("opt", true, "run the cost-driven optimizer")
 	values := fs.Bool("values", false, "print each result's string-value")
 	limit := fs.Int("limit", 0, "stop after N results (0 = all)")
+	timeout := fs.Duration("timeout", 0, "kill the query after this wall-clock time (0 = none)")
+	maxResults := fs.Uint64("max-results", 0, "fail the query past N results (0 = unlimited)")
+	maxPages := fs.Uint64("max-pages", 0, "fail the query past N index pages read (0 = unlimited)")
+	maxRecords := fs.Uint64("max-records", 0, "fail the query past N records decoded (0 = unlimited)")
 	var of obsFlags
 	of.register(fs)
 	fs.Parse(args)
@@ -164,24 +171,34 @@ func cmdQuery(args []string) error {
 	}
 	defer db.Close()
 
+	// Ctrl-C cancels the running query through its context; the engine
+	// stops mid-stream and reports vamana.ErrCanceled.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	opts := []vamana.QueryOption{
+		vamana.WithTimeout(*timeout),
+		vamana.WithMaxResults(*maxResults),
+		vamana.WithMaxPagesRead(*maxPages),
+		vamana.WithMaxDecodedRecords(*maxRecords),
+	}
+
 	var res *vamana.Results
 	if *optimized {
 		// The serving path: plan cache, latency histogram, slow-query log.
-		res, err = db.Query(doc, fs.Arg(0))
+		res, err = db.QueryContext(ctx, doc, fs.Arg(0), opts...)
 	} else {
 		var q *vamana.Query
 		q, err = db.Compile(fs.Arg(0))
 		if err != nil {
 			return err
 		}
-		res, err = q.Execute(doc)
+		res, err = q.ExecuteContext(ctx, doc, opts...)
 	}
 	if err != nil {
 		return err
 	}
 	n := 0
-	for res.Next() {
-		node, err := res.Node()
+	for node, err := range res.All() {
 		if err != nil {
 			return err
 		}
@@ -198,9 +215,6 @@ func cmdQuery(args []string) error {
 		if *limit > 0 && n >= *limit {
 			break
 		}
-	}
-	if err := res.Err(); err != nil {
-		return err
 	}
 	fmt.Fprintf(os.Stderr, "%d result(s)\n", n)
 	return nil

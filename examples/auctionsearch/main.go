@@ -68,15 +68,15 @@ func collectValues(db *vamana.DB, doc *vamana.Document, expr string) []string {
 		log.Fatalf("%s: %v", expr, err)
 	}
 	var out []string
-	for res.Next() {
+	for _, err := range res.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
 		sv, err := res.StringValue()
 		if err != nil {
 			log.Fatal(err)
 		}
 		out = append(out, sv)
-	}
-	if err := res.Err(); err != nil {
-		log.Fatal(err)
 	}
 	return out
 }
@@ -91,7 +91,7 @@ func count(db *vamana.DB, doc *vamana.Document, expr string) int {
 		log.Fatalf("%s: %v", expr, err)
 	}
 	n := 0
-	for res.Next() {
+	for range res.AllKeys() {
 		n++
 	}
 	if err := res.Err(); err != nil {

@@ -3,8 +3,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"vamana"
 )
@@ -69,20 +71,24 @@ func run(db *vamana.DB, d *vamana.Document, expr string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := q.Execute(d)
+	// Give every query a governance envelope: a deadline plus a result
+	// budget. Well-behaved queries never notice; runaways are killed with
+	// a typed error (vamana.ErrDeadlineExceeded, *vamana.BudgetError).
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	res, err := q.ExecuteContext(ctx, d, vamana.WithMaxResults(100))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s\n", expr)
-	for res.Next() {
+	for n, err := range res.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
 		sv, err := res.StringValue()
 		if err != nil {
 			log.Fatal(err)
 		}
-		n, _ := res.Node()
 		fmt.Printf("  %-12s %-14s %q\n", n.Key, n.Name, sv)
-	}
-	if err := res.Err(); err != nil {
-		log.Fatal(err)
 	}
 }

@@ -60,7 +60,7 @@ func main() {
 		log.Fatal(err)
 	}
 	n := 0
-	for res.Next() {
+	for range res.AllKeys() {
 		n++
 	}
 	if err := res.Err(); err != nil {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"vamana/internal/govern"
 	"vamana/internal/pager"
 )
 
@@ -151,10 +152,19 @@ func (t *Tree) newNode(leaf bool) *node {
 	return n
 }
 
-func (t *Tree) load(id pager.PageID) (*node, error) {
+func (t *Tree) load(id pager.PageID) (*node, error) { return t.loadFor(id, nil) }
+
+// loadFor is load with per-query governance: a node-cache miss charges one
+// page read against lim before the I/O happens, so a tripped MaxPagesRead
+// budget stops the query without issuing the read. Cache hits are free —
+// the budget bounds a query's pressure on the pager, not its key visits.
+func (t *Tree) loadFor(id pager.PageID, lim *govern.Limiter) (*node, error) {
 	if n, ok := t.cache[id]; ok {
 		t.m.CacheHits++
 		return n, nil
+	}
+	if err := lim.AddPages(1); err != nil {
+		return nil, err
 	}
 	t.m.CacheMisses++
 	if err := t.pg.Read(id, t.scratch); err != nil {

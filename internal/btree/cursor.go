@@ -3,6 +3,7 @@ package btree
 import (
 	"bytes"
 
+	"vamana/internal/govern"
 	"vamana/internal/pager"
 )
 
@@ -15,20 +16,34 @@ type Cursor struct {
 	idx   int
 	valid bool
 	err   error
+	lim   *govern.Limiter
 }
+
+// SetLimiter attaches a query-governance limiter: every node-cache miss
+// the cursor causes is charged against its page budget, which also
+// carries sticky cancellation errors into seeks. A nil limiter (the
+// default) means ungoverned. Seeks do not poll cancellation themselves —
+// every seek site sits inside a scan loop that already ticks the same
+// limiter per iteration, and a second heap RMW per seek measurably
+// taxed bind-heavy plans.
+func (c *Cursor) SetLimiter(l *govern.Limiter) { c.lim = l }
+
+// load reads a node on behalf of this cursor, charging the governance
+// limiter for any page I/O it causes.
+func (c *Cursor) load(id pager.PageID) (*node, error) { return c.t.loadFor(id, c.lim) }
 
 // Seek positions the cursor on the first entry with key >= target and
 // reports whether such an entry exists.
 func (c *Cursor) Seek(target []byte) bool {
 	c.t.m.Seeks++
 	c.valid, c.err = false, nil
-	n, err := c.t.load(c.t.root)
+	n, err := c.load(c.t.root)
 	if err != nil {
 		c.err = err
 		return false
 	}
 	for !n.leaf {
-		if n, err = c.t.load(n.children[childIndex(n, target)]); err != nil {
+		if n, err = c.load(n.children[childIndex(n, target)]); err != nil {
 			c.err = err
 			return false
 		}
@@ -42,13 +57,13 @@ func (c *Cursor) Seek(target []byte) bool {
 func (c *Cursor) SeekFirst() bool {
 	c.t.m.Seeks++
 	c.valid, c.err = false, nil
-	n, err := c.t.load(c.t.root)
+	n, err := c.load(c.t.root)
 	if err != nil {
 		c.err = err
 		return false
 	}
 	for !n.leaf {
-		if n, err = c.t.load(n.children[0]); err != nil {
+		if n, err = c.load(n.children[0]); err != nil {
 			c.err = err
 			return false
 		}
@@ -61,13 +76,13 @@ func (c *Cursor) SeekFirst() bool {
 func (c *Cursor) SeekLast() bool {
 	c.t.m.Seeks++
 	c.valid, c.err = false, nil
-	n, err := c.t.load(c.t.root)
+	n, err := c.load(c.t.root)
 	if err != nil {
 		c.err = err
 		return false
 	}
 	for !n.leaf {
-		if n, err = c.t.load(n.children[len(n.children)-1]); err != nil {
+		if n, err = c.load(n.children[len(n.children)-1]); err != nil {
 			c.err = err
 			return false
 		}
@@ -79,6 +94,9 @@ func (c *Cursor) SeekLast() bool {
 // SeekBefore positions the cursor on the last entry with key < target.
 func (c *Cursor) SeekBefore(target []byte) bool {
 	if !c.Seek(target) {
+		if c.err != nil {
+			return false
+		}
 		// Everything is < target (or tree empty): last entry, if any.
 		return c.SeekLast()
 	}
@@ -111,7 +129,7 @@ func (c *Cursor) skipForward() bool {
 			c.valid = false
 			return false
 		}
-		n, err := c.t.load(c.leaf.next)
+		n, err := c.load(c.leaf.next)
 		if err != nil {
 			c.err, c.valid = err, false
 			return false
@@ -128,7 +146,7 @@ func (c *Cursor) skipBackward() bool {
 			c.valid = false
 			return false
 		}
-		n, err := c.t.load(c.leaf.prev)
+		n, err := c.load(c.leaf.prev)
 		if err != nil {
 			c.err, c.valid = err, false
 			return false
@@ -142,7 +160,8 @@ func (c *Cursor) skipBackward() bool {
 // Valid reports whether the cursor is positioned on an entry.
 func (c *Cursor) Valid() bool { return c.valid }
 
-// Err returns the first I/O error the cursor encountered, if any.
+// Err returns the first error the cursor encountered — I/O from the pager
+// or a governance trip from the attached limiter.
 func (c *Cursor) Err() error { return c.err }
 
 // Key returns the current entry's key. The slice is owned by the tree; do
@@ -186,6 +205,8 @@ func (c *Cursor) InRange(hi []byte) bool {
 // NewCursor returns an unpositioned cursor; call one of the Seek methods.
 func (t *Tree) NewCursor() *Cursor { return &Cursor{t: t} }
 
-// Reset re-targets c at tree t, clearing any position and error, so one
-// cursor allocation can be reused across many scans.
+// Reset re-targets c at tree t, clearing any position, error and limiter,
+// so one cursor allocation can be reused across many scans. Callers that
+// govern the new scan must SetLimiter again after Reset — clearing here
+// keeps a pooled cursor from charging a previous query's budget.
 func (c *Cursor) Reset(t *Tree) { *c = Cursor{t: t} }

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"vamana/internal/cost"
 	"vamana/internal/exec"
 	"vamana/internal/flex"
+	"vamana/internal/govern"
 	"vamana/internal/mass"
 	"vamana/internal/obs"
 	"vamana/internal/opt"
@@ -117,15 +119,17 @@ type Query struct {
 }
 
 // Compile parses expr and builds the default (unoptimized) query plan —
-// "VQP" in the paper's experiments.
+// "VQP" in the paper's experiments. Parse failures wrap the underlying
+// *xpath.SyntaxError, so callers can recover the offending position with
+// errors.As.
 func (e *Engine) Compile(expr string) (*Query, error) {
 	ast, err := xpath.Parse(expr)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("vamana: compile: %w", err)
 	}
 	p, err := plan.Build(ast)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("vamana: compile: %w", err)
 	}
 	return &Query{engine: e, expr: expr, plan: p}, nil
 }
@@ -219,7 +223,23 @@ func (e *Engine) compileCached(doc mass.DocID, expr string, optimized bool) (*Qu
 // (cache hit, unsampled) the instrumentation adds two time.Now calls
 // and a handful of counter updates — no allocations.
 func (e *Engine) Query(doc mass.DocID, expr string) (*exec.Iterator, error) {
+	return e.QueryContext(context.Background(), doc, expr, govern.Limits{})
+}
+
+// QueryContext is Query under governance: the run observes ctx's
+// cancellation and deadline, and limits' resource budgets (zero limits =
+// unlimited). A pre-canceled or pre-expired ctx fails here, before the
+// plan cache or storage is touched. With a Background context and zero
+// limits the limiter is nil and the path is identical to Query.
+func (e *Engine) QueryContext(cctx context.Context, doc mass.DocID, expr string, limits govern.Limits) (*exec.Iterator, error) {
 	start := time.Now()
+	// Pre-flight: a pre-canceled or pre-expired ctx fails here, before
+	// the plan cache, the optimizer's statistics probes, or storage is
+	// touched. This is the query's single immediate poll; from here on
+	// cancellation rides the limiter's amortized ticks.
+	if err := govern.CheckContext(cctx); err != nil {
+		return nil, err
+	}
 	q, hit, err := e.compileCached(doc, expr, true)
 	if err != nil {
 		return nil, err
@@ -232,6 +252,8 @@ func (e *Engine) Query(doc mass.DocID, expr string) (*exec.Iterator, error) {
 	ctx := exec.Context{
 		Store:       e.store,
 		Doc:         doc,
+		Ctx:         cctx,
+		Limits:      limits,
 		OnFinish:    e.finishFn,
 		FinishStart: start,
 		FinishObj:   q,
@@ -287,6 +309,7 @@ func (e *Engine) queryFinished(it *exec.Iterator) {
 			Total:    total,
 			Results:  it.Results(),
 			CacheHit: hit,
+			Err:      it.Err(),
 		})
 	}
 	if tc != nil && tc.sampled && e.traceSink != nil {
@@ -416,18 +439,42 @@ func (q *Query) ExplainAnalyze(doc mass.DocID) (string, error) {
 // Execute runs the query against doc with the document root as initial
 // context.
 func (q *Query) Execute(doc mass.DocID) (*exec.Iterator, error) {
-	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc})
+	return q.ExecuteContext(context.Background(), doc, govern.Limits{})
+}
+
+// ExecuteContext is Execute under governance (see Engine.QueryContext).
+func (q *Query) ExecuteContext(ctx context.Context, doc mass.DocID, limits govern.Limits) (*exec.Iterator, error) {
+	if err := govern.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Ctx: ctx, Limits: limits})
 }
 
 // ExecuteOrdered runs the query and delivers the result set in document
 // order (materializing it first; use Execute for pipelined delivery).
 func (q *Query) ExecuteOrdered(doc mass.DocID) (*exec.Iterator, error) {
-	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Ordered: true})
+	return q.ExecuteOrderedContext(context.Background(), doc, govern.Limits{})
+}
+
+// ExecuteOrderedContext is ExecuteOrdered under governance.
+func (q *Query) ExecuteOrderedContext(ctx context.Context, doc mass.DocID, limits govern.Limits) (*exec.Iterator, error) {
+	if err := govern.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Ordered: true, Ctx: ctx, Limits: limits})
 }
 
 // ExecuteFrom runs the query with an explicit initial context node — the
 // XQuery-style context feeding of paper §V-A — and optional variable
 // bindings.
 func (q *Query) ExecuteFrom(doc mass.DocID, start flex.Key, vars map[string][]flex.Key) (*exec.Iterator, error) {
-	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Start: start, Vars: vars})
+	return q.ExecuteFromContext(context.Background(), doc, start, vars, govern.Limits{})
+}
+
+// ExecuteFromContext is ExecuteFrom under governance.
+func (q *Query) ExecuteFromContext(ctx context.Context, doc mass.DocID, start flex.Key, vars map[string][]flex.Key, limits govern.Limits) (*exec.Iterator, error) {
+	if err := govern.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Start: start, Vars: vars, Ctx: ctx, Limits: limits})
 }

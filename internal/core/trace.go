@@ -37,6 +37,11 @@ type SlowQuery struct {
 	Total    time.Duration
 	Results  uint64
 	CacheHit bool
+	// Err is the run's terminal error, if any — a governance trip
+	// (canceled, deadline, budget) or an execution failure. A slow entry
+	// with a deadline error is the signature of a query killed by its
+	// timeout rather than one that finished slowly.
+	Err error
 }
 
 // slowRingCap bounds the in-memory slow-query ring. Old entries are
@@ -61,8 +66,13 @@ func (l *slowLog) record(sq SlowQuery) {
 	w := l.w
 	l.mu.Unlock()
 	if w != nil {
-		fmt.Fprintf(w, "slow query: %s doc=%d total=%v results=%d cached=%v\n",
-			sq.Expr, sq.Doc, sq.Total, sq.Results, sq.CacheHit)
+		if sq.Err != nil {
+			fmt.Fprintf(w, "slow query: %s doc=%d total=%v results=%d cached=%v err=%q\n",
+				sq.Expr, sq.Doc, sq.Total, sq.Results, sq.CacheHit, sq.Err)
+		} else {
+			fmt.Fprintf(w, "slow query: %s doc=%d total=%v results=%d cached=%v\n",
+				sq.Expr, sq.Doc, sq.Total, sq.Results, sq.CacheHit)
+		}
 	}
 }
 

@@ -7,12 +7,16 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"vamana/internal/flex"
+	"vamana/internal/govern"
 	"vamana/internal/mass"
 	"vamana/internal/obs"
 	"vamana/internal/plan"
@@ -20,10 +24,27 @@ import (
 	"vamana/internal/xpath"
 )
 
+// Limiter is the per-run governance limiter the executor enforces: it is
+// govern.Limiter re-exported at the execution layer, which arms it from
+// Context.Ctx and Context.Limits. A nil *Limiter means ungoverned.
+type Limiter = govern.Limiter
+
 // Context is the execution environment of one query run.
 type Context struct {
 	Store *mass.Store
 	Doc   mass.DocID
+	// Ctx and Limits govern the run: Run arms a limiter from them (into
+	// the pooled run state, so a governed query costs no extra
+	// allocation) that drives cancellation and deadline checks in the
+	// pull loop and the axis scans, plus resource-budget accounting
+	// (results here, page reads and record decodes in storage). A nil or
+	// never-canceled Ctx with zero Limits means ungoverned — the
+	// pre-governance fast path, at the cost of a few nil checks. Run does
+	// not poll Ctx's current state itself: callers pre-flight with
+	// govern.CheckContext before compiling, so the immediate poll happens
+	// exactly once per query.
+	Ctx    context.Context
+	Limits govern.Limits
 	// Start is the initial context node bound to the leaf operators of
 	// the plan's context path; the engine uses the document root when
 	// empty (paper §V-B). An XQuery-style caller may bind any node.
@@ -82,6 +103,7 @@ func (s State) String() string {
 type Iterator struct {
 	env      env
 	root     execNode
+	rs       *runState
 	cur      flex.Key
 	err      error
 	done     bool
@@ -93,7 +115,27 @@ type Iterator struct {
 	finishObj   any
 }
 
+// runState is the pooled per-run executor state: the step arena, the
+// stats registry, and the governance limiter. Pooling it makes warm
+// serving runs allocation-free in the pipeline setup and — because arena
+// slots keep their mass.Scanner buffers (cursor, range keys) across
+// runs — in the axis binds too. The limiter lives here (rather than
+// coming from govern's own pool) so arming a governed run costs no pool
+// round-trip on top of the one runState already makes.
+type runState struct {
+	arena []stepExec
+	steps []*stepExec
+	lim   Limiter
+}
+
+var runPool sync.Pool
+
 // Run builds an executable pipeline for p and returns its iterator.
+//
+// Callers should Close the iterator when done with it (including after
+// natural exhaustion, once any Stats have been read): Close returns the
+// run's pooled state to the executor pool. An unclosed iterator is only
+// a missed reuse, not a leak — the garbage collector reclaims it.
 func Run(p *plan.Plan, ctx Context) (*Iterator, error) {
 	if ctx.Store == nil {
 		return nil, fmt.Errorf("exec: nil store")
@@ -110,12 +152,30 @@ func Run(p *plan.Plan, ctx Context) (*Iterator, error) {
 	}
 	e := &it.env
 	if n := countSteps(p.Root); n > 0 {
-		e.arena = make([]stepExec, 0, n)
-		e.steps = make([]*stepExec, 0, n)
+		rs, _ := runPool.Get().(*runState)
+		if rs == nil {
+			rs = &runState{}
+		}
+		if cap(rs.arena) < n {
+			// Never grow an arena in place: operators hold pointers into it.
+			rs.arena = make([]stepExec, 0, n)
+		}
+		if cap(rs.steps) < n {
+			rs.steps = make([]*stepExec, 0, n)
+		}
+		it.rs = rs
+		e.arena = rs.arena[:0]
+		e.steps = rs.steps[:0]
+		e.lim = govern.Arm(&rs.lim, ctx.Ctx, ctx.Limits)
+	} else {
+		// Stepless plans have no pooled run state to embed the limiter
+		// in; fall back to govern's own pool.
+		e.lim = govern.New(ctx.Ctx, ctx.Limits)
 	}
 	root, err := e.build(p.Root)
 	e.building = false
 	if err != nil {
+		it.release()
 		return nil, err
 	}
 	if ctx.Ordered {
@@ -124,6 +184,43 @@ func Run(p *plan.Plan, ctx Context) (*Iterator, error) {
 	root.reset(start)
 	it.root = root
 	return it, nil
+}
+
+// release returns the run's pooled state — the arena/steps backing and
+// the governance limiter. The iterator's env stops referencing both, so
+// Stats after release see an empty registry. Pooled step slots may still
+// hold stale scanner->limiter pointers; every bind site re-installs the
+// new run's limiter before any scan, so those are never dereferenced.
+func (it *Iterator) release() {
+	rs := it.rs
+	if rs == nil {
+		govern.Release(it.env.lim)
+		it.env.lim = nil
+		return
+	}
+	if it.env.lim != nil {
+		// The limiter is embedded in rs: disarm so pooling it does not
+		// pin the run's context.
+		govern.Disarm(&rs.lim)
+	}
+	it.env.lim = nil
+	it.rs = nil
+	rs.arena = it.env.arena[:0]
+	rs.steps = it.env.steps[:0]
+	it.env.arena = nil
+	it.env.steps = nil
+	runPool.Put(rs)
+}
+
+// Close finishes and releases the iterator: the run's batched metrics are
+// flushed and the OnFinish hook fires (both exactly once, whether or not
+// the iterator was drained), further Next calls return false, and the
+// pooled execution state goes back to the executor pool. Idempotent.
+// Callers that read Stats must do so before Close.
+func (it *Iterator) Close() {
+	it.done = true
+	it.finishRun()
+	it.release()
 }
 
 // orderedExec drains its child and re-delivers the tuples sorted by FLEX
@@ -168,11 +265,14 @@ func (it *Iterator) Next() bool {
 	if it.done {
 		return false
 	}
+	lim := it.env.lim
+	if err := lim.Tick(); err != nil {
+		it.fail(err)
+		return false
+	}
 	k, ok, err := it.root.next()
 	if err != nil {
-		it.err = err
-		it.done = true
-		it.finishRun()
+		it.fail(err)
 		return false
 	}
 	if !ok {
@@ -180,21 +280,44 @@ func (it *Iterator) Next() bool {
 		it.finishRun()
 		return false
 	}
+	// Charge the delivery: with MaxResults = N, exactly N tuples are
+	// delivered and materializing the (N+1)th trips the budget.
+	if err := lim.AddResults(1); err != nil {
+		it.fail(err)
+		return false
+	}
 	it.cur = k
 	it.nResults++
 	return true
 }
 
-// finishRun fires once per iterator, when the run completes (exhaustion
-// or error): it flushes the run's batched counters to the global metrics
-// and invokes the OnFinish hook. Iterators abandoned before completion
-// simply never flush — the serving path always drains.
+// fail poisons the iterator with err and finishes the run.
+func (it *Iterator) fail(err error) {
+	it.err = err
+	it.done = true
+	it.finishRun()
+}
+
+// finishRun fires once per iterator, when the run completes (exhaustion,
+// error, or Close): it flushes the run's batched counters to the global
+// metrics, classifies governance outcomes, and invokes the OnFinish hook.
+// Iterators abandoned without Close simply never flush.
 func (it *Iterator) finishRun() {
 	if it.finished {
 		return
 	}
 	it.finished = true
 	if obs.Enabled() {
+		if it.err != nil {
+			switch {
+			case errors.Is(it.err, govern.ErrCanceled):
+				obs.QueriesCanceled.Inc()
+			case errors.Is(it.err, govern.ErrDeadlineExceeded):
+				obs.QueriesDeadlineExceeded.Inc()
+			case errors.Is(it.err, govern.ErrBudgetExceeded):
+				obs.QueriesBudgetExceeded.Inc()
+			}
+		}
 		obs.ExecRuns.Inc()
 		obs.ExecResults.Add(it.nResults)
 		var scanned uint64
@@ -218,6 +341,10 @@ func (it *Iterator) finishRun() {
 
 // Results returns the number of result tuples delivered so far.
 func (it *Iterator) Results() uint64 { return it.nResults }
+
+// Limiter returns the run's governance limiter (nil when ungoverned), for
+// consumption snapshots in slow-query and trace records.
+func (it *Iterator) Limiter() *Limiter { return it.env.lim }
 
 // Doc returns the document the iterator runs against.
 func (it *Iterator) Doc() mass.DocID { return it.env.doc }
@@ -276,6 +403,9 @@ type env struct {
 	doc   mass.DocID
 	start flex.Key
 	vars  map[string][]flex.Key
+	// lim is the run's governance limiter (nil = ungoverned), shared by
+	// the whole pipeline including transient predicate subplans.
+	lim *govern.Limiter
 	// steps registers every step operator's executor so Iterator.Stats
 	// can read back actual tuple counts after a run. Registration only
 	// happens while the initial pipeline is being built (building=true);
@@ -296,12 +426,18 @@ type env struct {
 
 // newStep carves a step executor out of the arena, or allocates one when
 // the arena is exhausted (transient subplans built during expression
-// evaluation).
+// evaluation). Arena slots are pooled across runs, so a carved slot is
+// reset here — except its scanner, whose cursor and key buffers are the
+// cross-run allocation win (BindScan rebinds all of its semantic state).
 func (e *env) newStep(op *plan.Step) *stepExec {
 	if len(e.arena) < cap(e.arena) {
 		e.arena = e.arena[:len(e.arena)+1]
 		se := &e.arena[len(e.arena)-1]
-		se.env, se.op = e, op
+		for i := range se.preds {
+			se.preds[i] = nil
+		}
+		scanner := se.scanner
+		*se = stepExec{env: e, op: op, preds: se.preds[:0], scanner: scanner}
 		return se
 	}
 	return &stepExec{env: e, op: op}
@@ -541,9 +677,10 @@ func (s *stepExec) next() (flex.Key, bool, error) {
 			s.env.axisBinds[s.op.Axis]++
 			s.state = Fetching
 			if s.op.Axis == mass.AxisNumRange {
-				s.scan = s.env.store.NumericRangeScan(s.env.doc, ctx,
-					s.op.NumLo, s.op.NumLoIncl, s.op.NumHi, s.op.NumHiIncl)
+				s.scan = s.env.store.NumericRangeScanLim(s.env.doc, ctx,
+					s.op.NumLo, s.op.NumLoIncl, s.op.NumHi, s.op.NumHiIncl, s.env.lim)
 			} else {
+				s.scanner.SetLimiter(s.env.lim)
 				s.scan = s.env.store.BindScan(&s.scanner, s.env.doc, ctx, s.op.Axis, s.op.Test)
 			}
 			// Reuse the proximity-position buffer across context bindings;

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"vamana/internal/flex"
+	"vamana/internal/govern"
 	"vamana/internal/xmldoc"
 )
 
@@ -146,19 +147,23 @@ func (s *Store) NumericRangeCount(d DocID, lo float64, loIncl bool, hi float64, 
 // the range, restricted to ctx's subtree, ordered by numeric value. This
 // backs the optimizer's range-predicate rewrite.
 func (s *Store) NumericRangeScan(d DocID, ctx flex.Key, lo float64, loIncl bool, hi float64, hiIncl bool) *Scan {
+	return s.NumericRangeScanLim(d, ctx, lo, loIncl, hi, hiIncl, nil)
+}
+
+// NumericRangeScanLim is NumericRangeScan under query governance: lim
+// (nil = ungoverned) is ticked per index entry and charged for every page
+// read and record decode the scan causes.
+func (s *Store) NumericRangeScanLim(d DocID, ctx flex.Key, lo float64, loIncl bool, hi float64, hiIncl bool, lim *govern.Limiter) *Scan {
 	if ctx == "" {
 		ctx = flex.Root
 	}
 	lob, hib := numRange(numTagText, d, lo, loIncl, hi, hiIncl)
-	inner := s.indexScan(s.values, lob, hib, false, func(k []byte) (xmldoc.Node, bool) {
+	inner := s.indexScan(s.values, lob, hib, false, lim, func(k []byte) (xmldoc.Node, bool) {
 		fk := flex.Key(k[1+8+4:])
 		if !(fk == ctx || ctx.IsAncestorOf(fk)) {
 			return xmldoc.Node{}, false
 		}
-		var enc [8]byte
-		copy(enc[:], k[1:9])
-		_ = enc
 		return xmldoc.Node{Key: fk, Kind: xmldoc.KindText}, true
 	})
-	return s.materializeValues(d, inner)
+	return s.materializeValues(d, inner, lim)
 }

@@ -5,6 +5,7 @@ import (
 
 	"vamana/internal/btree"
 	"vamana/internal/flex"
+	"vamana/internal/govern"
 	"vamana/internal/xmldoc"
 )
 
@@ -40,8 +41,9 @@ func (s *Store) AttrValueScan(d DocID, ctx flex.Key, value string) *Scan {
 
 // indexScan iterates tree keys in [lo, hi), mapping each through accept
 // (which may reject). Only keys are touched, never values. The numeric
-// index uses it; axis scans go through Scanner.
-func (s *Store) indexScan(tree *btree.Tree, lo, hi []byte, reverse bool, accept func(k []byte) (xmldoc.Node, bool)) *Scan {
+// index uses it; axis scans go through Scanner. lim (nil = ungoverned)
+// is ticked per entry and charged for the cursor's page reads.
+func (s *Store) indexScan(tree *btree.Tree, lo, hi []byte, reverse bool, lim *govern.Limiter, accept func(k []byte) (xmldoc.Node, bool)) *Scan {
 	var cur *btree.Cursor
 	started := false
 	return &Scan{next: func() (xmldoc.Node, bool, error) {
@@ -49,8 +51,12 @@ func (s *Store) indexScan(tree *btree.Tree, lo, hi []byte, reverse bool, accept 
 		defer s.mu.Unlock()
 		if cur == nil {
 			cur = tree.NewCursor()
+			cur.SetLimiter(lim)
 		}
 		for {
+			if err := lim.Tick(); err != nil {
+				return xmldoc.Node{}, false, err
+			}
 			var ok bool
 			if !started {
 				started = true
@@ -85,14 +91,14 @@ func (s *Store) indexScan(tree *btree.Tree, lo, hi []byte, reverse bool, accept 
 
 // materializeValues fills in Value for text nodes coming out of a keys-only
 // index (which stores no content) by probing the clustered index.
-func (s *Store) materializeValues(d DocID, in *Scan) *Scan {
+func (s *Store) materializeValues(d DocID, in *Scan, lim *govern.Limiter) *Scan {
 	return &Scan{next: func() (xmldoc.Node, bool, error) {
 		n, ok := in.Next()
 		if !ok {
 			return xmldoc.Node{}, false, in.Err()
 		}
 		s.mu.Lock()
-		full, ok2, err := s.nodeLocked(d, n.Key)
+		full, ok2, err := s.nodeLockedFor(d, n.Key, lim)
 		s.mu.Unlock()
 		if err != nil {
 			return xmldoc.Node{}, false, err

@@ -5,6 +5,7 @@ import (
 
 	"vamana/internal/btree"
 	"vamana/internal/flex"
+	"vamana/internal/govern"
 	"vamana/internal/xmldoc"
 )
 
@@ -50,8 +51,19 @@ type Scanner struct {
 
 	bindErr error
 
+	// lim is the owning query's governance limiter (nil = ungoverned):
+	// hot loops tick it for amortized cancellation, record decodes charge
+	// it, and BindScan installs it on the cursor for page accounting.
+	lim *govern.Limiter
+
 	scan Scan
 }
+
+// SetLimiter attaches a query-governance limiter to the scanner. It
+// applies from the next BindScan on; the executor sets it once per run
+// (scanners are pooled across runs, so every run must set it, including
+// setting nil for ungoverned runs).
+func (sc *Scanner) SetLimiter(l *govern.Limiter) { sc.lim = l }
 
 // scanShape selects the iteration strategy a binding uses.
 type scanShape uint8
@@ -147,6 +159,9 @@ func (s *Store) BindScan(sc *Scanner, d DocID, ctx flex.Key, axis Axis, test Nod
 		sc.shape = shapeErr
 		sc.bindErr = fmt.Errorf("mass: unknown axis %d", axis)
 	}
+	// Every bind re-targets the cursor (Reset clears its limiter), so the
+	// query's limiter is re-installed here, after the shape is chosen.
+	sc.cur.SetLimiter(sc.lim)
 	return &sc.scan
 }
 
@@ -308,7 +323,7 @@ func (sc *Scanner) evalSelf() (xmldoc.Node, bool, error) {
 	s := sc.store
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n, ok, err := s.nodeLocked(sc.d, sc.ctx)
+	n, ok, err := s.nodeLockedFor(sc.d, sc.ctx, sc.lim)
 	if err != nil || !ok {
 		return xmldoc.Node{}, false, err
 	}
@@ -334,7 +349,7 @@ func (sc *Scanner) nextParent() (xmldoc.Node, bool, error) {
 	s := sc.store
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n, ok, err := s.nodeLocked(sc.d, p)
+	n, ok, err := s.nodeLockedFor(sc.d, p, sc.lim)
 	if err != nil || !ok {
 		return xmldoc.Node{}, false, err
 	}
@@ -351,7 +366,10 @@ func (sc *Scanner) nextAncestor() (xmldoc.Node, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for sc.walkKey != "" {
-		n, ok, err := s.nodeLocked(sc.d, sc.walkKey)
+		if err := sc.lim.Tick(); err != nil {
+			return xmldoc.Node{}, false, err
+		}
+		n, ok, err := s.nodeLockedFor(sc.d, sc.walkKey, sc.lim)
 		if err != nil {
 			return xmldoc.Node{}, false, err
 		}
@@ -381,6 +399,9 @@ func (sc *Scanner) nextRange() (xmldoc.Node, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
+		if err := sc.lim.Tick(); err != nil {
+			return xmldoc.Node{}, false, err
+		}
 		var ok bool
 		if !sc.started {
 			sc.started = true
@@ -457,7 +478,7 @@ func (sc *Scanner) accept(k, v []byte) (xmldoc.Node, bool, error) {
 		// clustered record (text nodes cannot be ancestors, so the
 		// preceding-axis ancestor filter never applies here).
 		fk := flex.Key(kb)
-		full, ok, err := sc.store.nodeLocked(sc.d, fk)
+		full, ok, err := sc.store.nodeLockedFor(sc.d, fk, sc.lim)
 		if err != nil {
 			return xmldoc.Node{}, false, err
 		}
@@ -467,6 +488,9 @@ func (sc *Scanner) accept(k, v []byte) (xmldoc.Node, bool, error) {
 		return xmldoc.Node{Key: fk, Kind: xmldoc.KindText}, true, nil
 	case acceptNode:
 		_, fk := splitClusteredKey(k)
+		if err := sc.lim.AddRecords(1); err != nil {
+			return xmldoc.Node{}, false, err
+		}
 		sc.store.recordsDecoded++
 		n, err := decodeRecord(v)
 		if err != nil {
@@ -492,8 +516,11 @@ func (sc *Scanner) accept(k, v []byte) (xmldoc.Node, bool, error) {
 		n := xmldoc.Node{Key: fk, Kind: xmldoc.KindText, Value: sc.test.Name}
 		if sc.truncated || (len(v) > 0 && v[0]&valueFlagTruncated != 0) {
 			// The key holds only a prefix; verify against the record.
-			full, ok, err := sc.store.nodeLocked(sc.d, fk)
-			if err != nil || !ok || full.Value != sc.test.Name {
+			full, ok, err := sc.store.nodeLockedFor(sc.d, fk, sc.lim)
+			if err != nil {
+				return xmldoc.Node{}, false, err
+			}
+			if !ok || full.Value != sc.test.Name {
 				return xmldoc.Node{}, false, nil
 			}
 			n = full
@@ -502,8 +529,11 @@ func (sc *Scanner) accept(k, v []byte) (xmldoc.Node, bool, error) {
 	case acceptAttrValue:
 		_, kb, _ := splitValueKeyView(k)
 		fk := flex.Key(kb)
-		full, ok, err := sc.store.nodeLocked(sc.d, fk)
-		if err != nil || !ok {
+		full, ok, err := sc.store.nodeLockedFor(sc.d, fk, sc.lim)
+		if err != nil {
+			return xmldoc.Node{}, false, err
+		}
+		if !ok {
 			return xmldoc.Node{}, false, nil
 		}
 		if (sc.truncated || (len(v) > 0 && v[0]&valueFlagTruncated != 0)) && full.Value != sc.test.Name {
@@ -526,11 +556,17 @@ func (sc *Scanner) nextSkip() (xmldoc.Node, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
+		if err := sc.lim.Tick(); err != nil {
+			return xmldoc.Node{}, false, err
+		}
 		if !sc.cur.Seek(sc.lo) || !sc.cur.InRange(sc.hi) {
 			return xmldoc.Node{}, false, sc.cur.Err()
 		}
 		v, err := sc.cur.ValueView()
 		if err != nil {
+			return xmldoc.Node{}, false, err
+		}
+		if err := sc.lim.AddRecords(1); err != nil {
 			return xmldoc.Node{}, false, err
 		}
 		s.recordsDecoded++
@@ -564,6 +600,9 @@ func (sc *Scanner) nextAttribute() (xmldoc.Node, bool, error) {
 		return xmldoc.Node{}, false, nil
 	}
 	for {
+		if err := sc.lim.Tick(); err != nil {
+			return xmldoc.Node{}, false, err
+		}
 		var ok bool
 		if !sc.started {
 			sc.started = true
@@ -577,6 +616,9 @@ func (sc *Scanner) nextAttribute() (xmldoc.Node, bool, error) {
 		}
 		v, err := sc.cur.ValueView()
 		if err != nil {
+			return xmldoc.Node{}, false, err
+		}
+		if err := sc.lim.AddRecords(1); err != nil {
 			return xmldoc.Node{}, false, err
 		}
 		s.recordsDecoded++
@@ -606,6 +648,9 @@ func (sc *Scanner) nextPrevSib() (xmldoc.Node, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
+		if err := sc.lim.Tick(); err != nil {
+			return xmldoc.Node{}, false, err
+		}
 		sc.hi = appendClusteredKey(sc.hi[:0], sc.d, sc.walkKey)
 		if !sc.cur.SeekBefore(sc.hi) {
 			return xmldoc.Node{}, false, sc.cur.Err()
@@ -618,7 +663,7 @@ func (sc *Scanner) nextPrevSib() (xmldoc.Node, bool, error) {
 		if sib == "" {
 			return xmldoc.Node{}, false, nil
 		}
-		n, ok, err := s.nodeLocked(sc.d, sib)
+		n, ok, err := s.nodeLockedFor(sc.d, sib, sc.lim)
 		if err != nil || !ok {
 			return xmldoc.Node{}, false, err
 		}

@@ -24,6 +24,7 @@ import (
 
 	"vamana/internal/btree"
 	"vamana/internal/flex"
+	"vamana/internal/govern"
 	"vamana/internal/pager"
 	"vamana/internal/xmldoc"
 )
@@ -104,7 +105,9 @@ type Options struct {
 	CachePages int
 }
 
-var errNoDoc = errors.New("mass: unknown document")
+// ErrNoDoc is returned when an operation names a document that is not
+// loaded in the store.
+var ErrNoDoc = errors.New("mass: unknown document")
 
 // Open creates or reopens a store.
 func Open(opts Options) (*Store, error) {
@@ -434,7 +437,7 @@ func (s *Store) DropDocument(name string) error {
 	defer s.mu.Unlock()
 	d, ok := s.docs[name]
 	if !ok {
-		return errNoDoc
+		return ErrNoDoc
 	}
 	s.removeDocNodesLocked(d)
 	s.bumpEpochLocked(d)
@@ -447,6 +450,15 @@ func (s *Store) DropDocument(name string) error {
 func (s *Store) Node(d DocID, k flex.Key) (xmldoc.Node, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.nodeLocked(d, k)
+}
+
+// nodeLockedFor is nodeLocked with per-query governance: the record decode
+// is charged against lim's decoded-records budget before the probe runs.
+func (s *Store) nodeLockedFor(d DocID, k flex.Key, lim *govern.Limiter) (xmldoc.Node, bool, error) {
+	if err := lim.AddRecords(1); err != nil {
+		return xmldoc.Node{}, false, err
+	}
 	return s.nodeLocked(d, k)
 }
 

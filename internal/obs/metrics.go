@@ -26,4 +26,13 @@ var (
 		"Queries exceeding the configured slow-query threshold.")
 	TracesSampled = NewCounter("vamana_traces_sampled_total",
 		"Queries that carried a sampled TraceContext.")
+
+	// Governance layer: how query runs were stopped early. Classified at
+	// run finish from the iterator's terminal error.
+	QueriesCanceled = NewCounter("vamana_queries_canceled_total",
+		"Query runs stopped because the caller's context was canceled.")
+	QueriesDeadlineExceeded = NewCounter("vamana_queries_deadline_exceeded_total",
+		"Query runs stopped by a context deadline or per-query timeout.")
+	QueriesBudgetExceeded = NewCounter("vamana_queries_budget_exceeded_total",
+		"Query runs stopped by a per-query resource budget (results, pages, records).")
 )

@@ -30,4 +30,15 @@ echo "== metrics overhead gate (warm serving, obs on vs off, 5% budget)"
 # see TestMetricsOverheadGate.
 VAMANA_METRICS_GATE=1 go test -run '^TestMetricsOverheadGate$' -v -count 1 .
 
+echo "== governance tests under the race detector"
+# Cancellation, deadlines and budgets exercise the executor's pooled run
+# state and concurrent governed queries — the -race run is the leak and
+# data-race gate the ISSUE requires.
+go test -race -run 'TestQueryContext|TestQueryTimeout|TestCancel|TestPreCanceled|TestBudget|TestDefaultLimits|TestConcurrentMixed|TestErrorTaxonomy|TestResultsAll' -count 1 .
+
+echo "== governance overhead gate (governed vs ungoverned serving, 3% budget)"
+# Paired interleaved rounds, median per-round ratio — see
+# TestGovernanceOverheadGate.
+VAMANA_GOVERNANCE_GATE=1 go test -run '^TestGovernanceOverheadGate$' -v -count 1 .
+
 echo "OK"

@@ -14,20 +14,30 @@
 //	db, err := vamana.Open(vamana.Options{}) // in-memory store
 //	defer db.Close()
 //	doc, err := db.LoadXML("auction", file)
-//	q, err := db.CompileOptimized(doc, "//person/address")
-//	res, err := q.Execute(doc)
-//	for res.Next() {
-//		n, _ := res.Node()
+//	res, err := db.QueryContext(ctx, doc, "//person/address",
+//		vamana.WithTimeout(time.Second), vamana.WithMaxResults(1000))
+//	for n, err := range res.All() {
+//		if err != nil {
+//			break // ctx canceled, deadline hit, or budget tripped
+//		}
 //		fmt.Println(n.Name, n.Value)
 //	}
+//
+// Every query is governed: the context's cancellation and deadline are
+// observed throughout execution — down to the index cursors — and
+// per-query resource budgets (results, pages read, records decoded,
+// wall-clock) stop runaway queries with distinct typed errors (see
+// ErrCanceled, ErrDeadlineExceeded, BudgetError).
 //
 // All 13 XPath axes are supported, along with value, range and position
 // predicates, node-set union, and the XPath 1.0 core function library.
 package vamana
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"io"
+	"iter"
 	"net/http"
 	"time"
 
@@ -71,6 +81,11 @@ type Options struct {
 	TraceEvery int
 	// TraceSink receives each sampled trace after its query finishes.
 	TraceSink func(*TraceContext)
+	// DefaultLimits is the resource-budget set applied to every query run
+	// on this database. Per-query options (WithTimeout, WithMaxResults, …)
+	// override it field by field; WithLimits replaces it. The zero value
+	// leaves every budget off.
+	DefaultLimits Limits
 }
 
 // TraceContext is a sampled per-query execution trace: compile-vs-serve
@@ -88,7 +103,8 @@ type StorageMetrics = mass.StoreMetrics
 // DB is a VAMANA database: a MASS store holding any number of indexed XML
 // documents plus the query pipeline. It is safe for concurrent use.
 type DB struct {
-	engine *core.Engine
+	engine   *core.Engine
+	defaults Limits
 }
 
 // Open creates or reopens a database.
@@ -105,7 +121,7 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{engine: e}, nil
+	return &DB{engine: e, defaults: opts.DefaultLimits}, nil
 }
 
 // Close flushes indexes and releases the store.
@@ -137,11 +153,12 @@ func (db *DB) LoadXMLString(name, src string) (*Document, error) {
 	return &Document{db: db, id: id, name: name}, nil
 }
 
-// Document returns the handle for a previously loaded document.
+// Document returns the handle for a previously loaded document. The
+// error for an unknown name satisfies errors.Is(err, ErrNoSuchDocument).
 func (db *DB) Document(name string) (*Document, error) {
 	id, ok := db.engine.Store().DocID(name)
 	if !ok {
-		return nil, fmt.Errorf("vamana: no document named %q", name)
+		return nil, wrapNoDoc(mass.ErrNoDoc, name)
 	}
 	return &Document{db: db, id: id, name: name}, nil
 }
@@ -149,8 +166,17 @@ func (db *DB) Document(name string) (*Document, error) {
 // Documents lists the loaded document names.
 func (db *DB) Documents() []string { return db.engine.Store().Documents() }
 
-// Drop removes a document and all its index entries.
-func (db *DB) Drop(name string) error { return db.engine.Store().DropDocument(name) }
+// Drop removes a document and all its index entries. Dropping an unknown
+// name fails with an error satisfying errors.Is(err, ErrNoSuchDocument).
+func (db *DB) Drop(name string) error {
+	if err := db.engine.Store().DropDocument(name); err != nil {
+		if errors.Is(err, mass.ErrNoDoc) {
+			return wrapNoDoc(err, name)
+		}
+		return err
+	}
+	return nil
+}
 
 // Name returns the document's registered name.
 func (d *Document) Name() string { return d.name }
@@ -221,12 +247,12 @@ func (db *DB) CompileOptimized(doc *Document, expr string) (*Query, error) {
 //
 // Query is safe for concurrent use from any number of goroutines; cached
 // plans are immutable and shared.
+//
+// Query is QueryContext with context.Background() and the database's
+// default budgets; use QueryContext to attach cancellation, a deadline,
+// or per-query budgets.
 func (db *DB) Query(doc *Document, expr string) (*Results, error) {
-	it, err := db.engine.Query(doc.id, expr)
-	if err != nil {
-		return nil, err
-	}
-	return &Results{doc: doc, it: it}, nil
+	return db.QueryContext(context.Background(), doc, expr)
 }
 
 // CompileCached is DB.Query's compilation half without the execution: it
@@ -297,12 +323,11 @@ func (q *Query) ExplainAnalyze(doc *Document) (string, error) {
 // Execute runs the query against doc with the document root as the
 // initial context node. Results stream; nothing is materialized beyond
 // the duplicate-elimination set.
+//
+// Execute is ExecuteContext with context.Background() and the database's
+// default budgets.
 func (q *Query) Execute(doc *Document) (*Results, error) {
-	it, err := q.q.Execute(doc.id)
-	if err != nil {
-		return nil, err
-	}
-	return &Results{doc: doc, it: it}, nil
+	return q.ExecuteContext(context.Background(), doc)
 }
 
 // ExecuteOrdered runs the query and delivers results in document order.
@@ -310,43 +335,71 @@ func (q *Query) Execute(doc *Document) (*Results, error) {
 // streaming delivery matters more than ordering (reverse axes otherwise
 // stream in axis order).
 func (q *Query) ExecuteOrdered(doc *Document) (*Results, error) {
-	it, err := q.q.ExecuteOrdered(doc.id)
-	if err != nil {
-		return nil, err
-	}
-	return &Results{doc: doc, it: it}, nil
+	return q.ExecuteOrderedContext(context.Background(), doc)
 }
 
 // ExecuteFrom runs the query with an explicit initial context node (a
 // FLEX key previously obtained from a result) and optional variable
 // bindings for $name references.
 func (q *Query) ExecuteFrom(doc *Document, startKey string, vars map[string][]string) (*Results, error) {
-	var v map[string][]flex.Key
-	if vars != nil {
-		v = make(map[string][]flex.Key, len(vars))
-		for name, keys := range vars {
-			ks := make([]flex.Key, len(keys))
-			for i, k := range keys {
-				ks[i] = flex.Key(k)
-			}
-			v[name] = ks
+	return q.ExecuteFromContext(context.Background(), doc, startKey, vars)
+}
+
+func flexKey(k string) flex.Key { return flex.Key(k) }
+
+func flexVars(vars map[string][]string) map[string][]flex.Key {
+	if vars == nil {
+		return nil
+	}
+	v := make(map[string][]flex.Key, len(vars))
+	for name, keys := range vars {
+		ks := make([]flex.Key, len(keys))
+		for i, k := range keys {
+			ks[i] = flex.Key(k)
 		}
+		v[name] = ks
 	}
-	it, err := q.q.ExecuteFrom(doc.id, flex.Key(startKey), v)
-	if err != nil {
-		return nil, err
-	}
-	return &Results{doc: doc, it: it}, nil
+	return v
 }
 
 // Results streams a query's result node set.
+//
+// A fully drained Results releases its execution resources automatically;
+// call Close when abandoning one early (it is idempotent, and All /
+// AllKeys / Keys do it for you). After the stream ends, Err reports how:
+// nil for normal exhaustion, or the typed governance error (ErrCanceled,
+// ErrDeadlineExceeded, *BudgetError) that stopped the run.
 type Results struct {
-	doc *Document
-	it  *exec.Iterator
+	doc    *Document
+	it     *exec.Iterator
+	closed bool
 }
 
-// Next advances to the next result and reports whether one exists.
-func (r *Results) Next() bool { return r.it.Next() }
+// Next advances to the next result and reports whether one exists. When
+// the stream ends — exhausted, failed, or governed away — the underlying
+// execution resources are released automatically.
+func (r *Results) Next() bool {
+	if r.closed {
+		return false
+	}
+	if r.it.Next() {
+		return true
+	}
+	r.Close()
+	return false
+}
+
+// Close releases the query's pooled execution state. It is idempotent and
+// safe on an already-drained Results; Err remains readable after Close.
+// Only early abandonment strictly needs it — exhausting the stream (or
+// using All, AllKeys or Keys) closes implicitly.
+func (r *Results) Close() error {
+	if !r.closed {
+		r.closed = true
+		r.it.Close()
+	}
+	return nil
+}
 
 // Key returns the current result's FLEX key without touching storage.
 func (r *Results) Key() string { return string(r.it.Key()) }
@@ -369,7 +422,47 @@ func (r *Results) StringValue() (string, error) {
 // Err reports the first error encountered while streaming.
 func (r *Results) Err() error { return r.it.Err() }
 
-// Keys drains the results into a slice of FLEX keys.
+// All returns an iterator over the materialized result nodes, for use
+// with range-over-func:
+//
+//	for n, err := range res.All() {
+//		if err != nil { ... ; break }
+//		use(n)
+//	}
+//
+// A non-nil err is the stream's terminal error (governance trip or
+// storage failure) and is always the last pair yielded. Breaking out
+// early is safe: the results are closed when the loop exits either way.
+func (r *Results) All() iter.Seq2[Node, error] {
+	return func(yield func(Node, error) bool) {
+		defer r.Close()
+		for r.Next() {
+			n, err := r.Node()
+			if !yield(n, err) || err != nil {
+				return
+			}
+		}
+		if err := r.Err(); err != nil {
+			yield(Node{}, err)
+		}
+	}
+}
+
+// AllKeys returns an iterator over the result FLEX keys without touching
+// storage. Check Err after the loop: a governed-away stream simply stops
+// yielding. Results are closed when the loop exits.
+func (r *Results) AllKeys() iter.Seq[string] {
+	return func(yield func(string) bool) {
+		defer r.Close()
+		for r.Next() {
+			if !yield(r.Key()) {
+				return
+			}
+		}
+	}
+}
+
+// Keys drains the results into a slice of FLEX keys and closes them.
 func (r *Results) Keys() ([]string, error) {
 	var out []string
 	for r.Next() {
