@@ -1,0 +1,15 @@
+//go:build stress
+
+package vamana
+
+import "testing"
+
+// TestDifferentialStress is the long randomized campaign behind the
+// stress build tag: 40 documents × 30 queries = 1,200 (document, query)
+// pairs per run, plus a second independently-seeded sweep. scripts/
+// check.sh runs it with a fixed time budget; reproduce any failure with
+// the seed printed in the failure message.
+func TestDifferentialStress(t *testing.T) {
+	runDifferential(t, 90001, 40, 30)
+	runDifferential(t, 430002, 40, 30)
+}

@@ -18,6 +18,7 @@ import (
 //	errors.Is(err, context.DeadlineExceeded)      // context-level (same err)
 //	var be *vamana.BudgetError; errors.As(err, &be) // which budget, usage
 //	var se *vamana.SyntaxError; errors.As(err, &se) // parse position
+//	errors.Is(err, vamana.ErrChecksum)              // storage corruption (storage.go)
 var (
 	// ErrNoSuchDocument reports a document name that is not loaded.
 	ErrNoSuchDocument = errors.New("vamana: no such document")

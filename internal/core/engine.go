@@ -19,6 +19,7 @@ import (
 	"vamana/internal/mass"
 	"vamana/internal/obs"
 	"vamana/internal/opt"
+	"vamana/internal/pager"
 	"vamana/internal/plan"
 	"vamana/internal/xpath"
 )
@@ -31,6 +32,12 @@ type Options struct {
 	// CachePages bounds the index page cache for file-backed stores
 	// (see mass.Options.CachePages). 0 selects the default.
 	CachePages int
+	// Backend, when non-nil, overrides Path as the pager's storage (see
+	// mass.Options.Backend). Used by crash-safety tests to inject faults.
+	Backend pager.Backend
+	// DisableChecksumVerify skips per-page CRC verification on reads.
+	// Diagnostics and benchmarking only.
+	DisableChecksumVerify bool
 	// PlanCacheSize bounds the number of compiled plans the serving fast
 	// path keeps (see Engine.Query). 0 selects the default (256);
 	// negative disables plan caching.
@@ -73,7 +80,12 @@ type Engine struct {
 
 // Open creates or reopens an engine.
 func Open(opts Options) (*Engine, error) {
-	s, err := mass.Open(mass.Options{Path: opts.Path, CachePages: opts.CachePages})
+	s, err := mass.Open(mass.Options{
+		Path:                  opts.Path,
+		CachePages:            opts.CachePages,
+		Backend:               opts.Backend,
+		DisableChecksumVerify: opts.DisableChecksumVerify,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -98,6 +110,12 @@ func (e *Engine) Store() *mass.Store { return e.store }
 
 // Close flushes and releases the engine.
 func (e *Engine) Close() error { return e.store.Close() }
+
+// VerifyPages checksums every durable page of the backing store. See
+// mass.Store.VerifyPages.
+func (e *Engine) VerifyPages() (checked int, corrupt []pager.PageID, err error) {
+	return e.store.VerifyPages()
+}
 
 // Load shreds and indexes an XML document under a unique name.
 func (e *Engine) Load(name string, r io.Reader) (mass.DocID, error) {
@@ -357,7 +375,11 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		{"vamana_pager_page_writes_total", "Pages written to the pager.", m.Pager.Writes},
 		{"vamana_pager_page_allocs_total", "Pages allocated (fresh or recycled).", m.Pager.Allocs},
 		{"vamana_pager_page_frees_total", "Pages returned to the free list.", m.Pager.Frees},
-		{"vamana_pager_pages", "Current page count including the meta page.", m.Pager.Pages},
+		{"vamana_pager_pages", "Current page count including the meta pages.", m.Pager.Pages},
+		{"vamana_pager_commits_total", "Atomic Flush commits that reached the backing file.", m.Pager.Commits},
+		{"vamana_pager_checksum_failures_total", "Page reads that failed CRC32C verification.", m.Pager.ChecksumFails},
+		{"vamana_pager_meta_fallbacks_total", "Opens that lost one metadata copy and recovered from the other.", m.Pager.MetaFallbacks},
+		{"vamana_pager_journal_replays_total", "Opens that completed an interrupted commit from its journal.", m.Pager.JournalReplays},
 		{"vamana_btree_cache_hits_total", "Index node loads served from cache.", m.Index.CacheHits},
 		{"vamana_btree_cache_misses_total", "Index node loads that read a page.", m.Index.CacheMisses},
 		{"vamana_btree_cache_evictions_total", "Index nodes evicted from cache.", m.Index.CacheEvictions},

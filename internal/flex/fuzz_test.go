@@ -1,0 +1,92 @@
+package flex
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzFlexKey drives random sibling insertions from a byte script: each
+// byte picks a gap in an ordered sibling list (front, end, or between two
+// existing components) and inserts a fresh component there via the same
+// generators MASS uses (Ordinal for the first child, After for appends,
+// Between for middle inserts). Invariants checked after every insertion:
+//
+//   - every generated component is valid (alphabet, no trailing 'a');
+//   - the list stays strictly increasing — fractional indexing never
+//     renumbers an existing sibling;
+//   - child keys built from the components preserve ancestry (Parent,
+//     IsAncestorOf, Depth) and document order (Compare), and stay inside
+//     the parent's subtree scan bounds (DescLower, SubtreeUpper).
+func FuzzFlexKey(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 254, 253, 252, 251, 250})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5})
+	f.Add([]byte{7, 3, 200, 11, 0, 0, 99, 1, 42, 17, 250, 6})
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 512 {
+			script = script[:512] // bound quadratic invariant checks
+		}
+		parent := Root.Child(Ordinal(0)).Child(Ordinal(1)) // depth-3 parent
+		var comps []Component
+		for step, b := range script {
+			gap := int(b) % (len(comps) + 1)
+			var c Component
+			var err error
+			switch {
+			case len(comps) == 0:
+				c = Ordinal(0)
+			case gap == len(comps):
+				c = After(comps[len(comps)-1])
+			case gap == 0:
+				c, err = Between("", comps[0])
+			default:
+				c, err = Between(comps[gap-1], comps[gap])
+			}
+			if err != nil {
+				// Between's only error is a >= b, which would mean the list
+				// is already out of order — an invariant violation itself.
+				t.Fatalf("step %d: gap %d: %v (list %q)", step, gap, err, comps)
+			}
+			comps = append(comps, "")
+			copy(comps[gap+1:], comps[gap:])
+			comps[gap] = c
+
+			// The list must be strictly increasing without renumbering.
+			if !sort.SliceIsSorted(comps, func(i, j int) bool { return comps[i] < comps[j] }) {
+				t.Fatalf("step %d: siblings out of order after inserting %q at %d: %q", step, c, gap, comps)
+			}
+			for i := 1; i < len(comps); i++ {
+				if comps[i-1] == comps[i] {
+					t.Fatalf("step %d: duplicate component %q", step, comps[i])
+				}
+			}
+
+			k := parent.Child(c)
+			if !k.Valid() {
+				t.Fatalf("step %d: generated invalid key %q", step, k)
+			}
+			if k.Parent() != parent {
+				t.Fatalf("step %d: %q.Parent() = %q, want %q", step, k, k.Parent(), parent)
+			}
+			if !parent.IsAncestorOf(k) || k.IsAncestorOf(parent) {
+				t.Fatalf("step %d: ancestry broken for %q under %q", step, k, parent)
+			}
+			if k.Depth() != parent.Depth()+1 {
+				t.Fatalf("step %d: depth %d, want %d", step, k.Depth(), parent.Depth()+1)
+			}
+			if k <= parent.DescLower() || k >= parent.SubtreeUpper() {
+				t.Fatalf("step %d: %q escapes subtree bounds (%q, %q)", step, k, parent.DescLower(), parent.SubtreeUpper())
+			}
+		}
+		// Key order must equal component order (document order of siblings).
+		for i := 1; i < len(comps); i++ {
+			a, b := parent.Child(comps[i-1]), parent.Child(comps[i])
+			if a.Compare(b) >= 0 {
+				t.Fatalf("sibling keys out of document order: %q vs %q", a, b)
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@
 package mass
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -103,6 +104,12 @@ type Options struct {
 	// 0 means the default (~6K pages, about 50 MB of 8 KiB pages). Lower
 	// it for memory-constrained deployments; raise it for hot stores.
 	CachePages int
+	// Backend, when non-nil, overrides Path as the storage to open the
+	// pager over (used by tests to inject faults below the pager).
+	Backend pager.Backend
+	// DisableChecksumVerify skips per-page CRC verification on reads.
+	// Diagnostics and benchmarking only.
+	DisableChecksumVerify bool
 }
 
 // ErrNoDoc is returned when an operation names a document that is not
@@ -113,11 +120,28 @@ var ErrNoDoc = errors.New("mass: unknown document")
 func Open(opts Options) (*Store, error) {
 	var pg *pager.Pager
 	var err error
-	if opts.Path == "" {
-		pg = pager.NewMemory()
-	} else {
-		pg, err = pager.Open(opts.Path)
+	switch {
+	case opts.Backend != nil:
+		pg, err = pager.OpenBackend(pager.Config{
+			Backend:               opts.Backend,
+			DisableChecksumVerify: opts.DisableChecksumVerify,
+		})
 		if err != nil {
+			return nil, err
+		}
+	case opts.Path == "":
+		pg = pager.NewMemory()
+	default:
+		b, berr := pager.NewFileBackend(opts.Path)
+		if berr != nil {
+			return nil, berr
+		}
+		pg, err = pager.OpenBackend(pager.Config{
+			Backend:               b,
+			DisableChecksumVerify: opts.DisableChecksumVerify,
+		})
+		if err != nil {
+			b.Close()
 			return nil, err
 		}
 	}
@@ -247,13 +271,13 @@ func (s *Store) flushLocked() error {
 		}
 		var v [4]byte
 		binary.LittleEndian.PutUint32(v[:], uint32(t.Root()))
-		if _, err := s.catalog.Put([]byte(catTree+name), v[:]); err != nil {
+		if err := s.catalogPutIfChanged([]byte(catTree+name), v[:]); err != nil {
 			return err
 		}
 	}
 	var seq [4]byte
 	binary.LittleEndian.PutUint32(seq[:], uint32(s.nextDoc))
-	if _, err := s.catalog.Put([]byte(catSeq), seq[:]); err != nil {
+	if err := s.catalogPutIfChanged([]byte(catSeq), seq[:]); err != nil {
 		return err
 	}
 	if err := s.catalog.Flush(); err != nil {
@@ -261,8 +285,26 @@ func (s *Store) flushLocked() error {
 	}
 	var meta [32]byte
 	binary.LittleEndian.PutUint32(meta[:4], uint32(s.catalog.Root()))
-	s.pg.SetUserMeta(meta)
+	if s.pg.UserMeta() != meta {
+		s.pg.SetUserMeta(meta)
+	}
 	return s.pg.Flush()
+}
+
+// catalogPutIfChanged writes a catalog entry only when its value actually
+// changes, keeping Flush idempotent: a flush of an unmodified store
+// dirties no pages (which also keeps VerifyPages from re-stamping — and
+// thereby hiding — damage in catalog pages before the sweep reads them).
+func (s *Store) catalogPutIfChanged(k, v []byte) error {
+	cur, ok, err := s.catalog.Get(k)
+	if err != nil {
+		return err
+	}
+	if ok && bytes.Equal(cur, v) {
+		return nil
+	}
+	_, err = s.catalog.Put(k, v)
+	return err
 }
 
 // Close flushes and releases the store.
@@ -271,6 +313,20 @@ func (s *Store) Close() error {
 		return err
 	}
 	return s.pg.Close()
+}
+
+// VerifyPages checksums every durable page of the store after flushing
+// any buffered state, returning the number of pages checked and the ids
+// that failed verification. In-memory stores report zero pages checked.
+func (s *Store) VerifyPages() (checked int, corrupt []pager.PageID, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.pg.InMemory() {
+		if err := s.flushLocked(); err != nil {
+			return 0, nil, err
+		}
+	}
+	return s.pg.Verify()
 }
 
 // LoadDocument shreds the XML document from r and indexes it under the

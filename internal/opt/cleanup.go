@@ -75,13 +75,23 @@ func cleanupStep(s *plan.Step) plan.Op {
 
 	// Merge a self step into its context child (paper Fig. 5). Safe only
 	// when the context step selects element-principal nodes, so the
-	// merged name test keeps meaning the same thing.
-	if s.Axis == mass.AxisSelf && s.Context != nil {
+	// merged name test keeps meaning the same thing — and only for
+	// order-free predicates: a positional predicate on a self step sees a
+	// singleton set (position() = last() = 1 always), while the same
+	// predicate hoisted onto the context step would select by position
+	// within the context step's whole generated set.
+	if s.Axis == mass.AxisSelf && s.Context != nil && orderFree(s.Preds) {
 		if ctx, ok := s.Context.(*plan.Step); ok && ctx.Axis.Principal() == xmldoc.KindElement && ctx.Axis != mass.AxisValue {
 			if merged, ok := mergeTests(ctx.Test, s.Test); ok {
-				ctx.Test = merged
-				ctx.Preds = append(ctx.Preds, s.Preds...)
-				return cleanupStep(ctx)
+				// Narrowing the context step's test changes which nodes its
+				// positional predicates count (child::*[2]/self::cc is the
+				// 2nd element if it is a cc, not the 2nd cc), so a test
+				// change also requires the context's predicates order-free.
+				if merged == ctx.Test || orderFree(ctx.Preds) {
+					ctx.Test = merged
+					ctx.Preds = append(ctx.Preds, s.Preds...)
+					return cleanupStep(ctx)
+				}
 			}
 		}
 	}

@@ -1,0 +1,275 @@
+// Package faultfs provides an in-memory, fault-injecting implementation
+// of the pager's Backend seam. It is the attack harness for the storage
+// stack's crash-safety machinery: tests arm it to fail the Nth write
+// (optionally tearing the write at a byte offset first), fail the Nth
+// sync, flip bits or overwrite ranges behind the pager's back, stall
+// operations, or die outright — then snapshot the surviving bytes and
+// reopen them as a fresh "post-crash" file.
+//
+// The package deliberately imports nothing from internal/pager: it
+// satisfies pager.Backend structurally, so the pager's own internal tests
+// can use it without an import cycle.
+//
+// Fault model. A write that hits its fault point applies its first
+// tearBytes bytes (modelling a torn sector write) and then kills the
+// backend: the injected error is returned, and every subsequent
+// operation fails with ErrCrashed, like a process whose disk vanished
+// mid-operation. Writes that complete before the fault point are durable
+// in the snapshot — the model is a crash, not a power loss with volatile
+// caches (syncs order the protocol; the pager may not rely on un-synced
+// writes being absent).
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+var (
+	// ErrInjected is returned by the operation that hits an armed fault
+	// point.
+	ErrInjected = errors.New("faultfs: injected fault")
+	// ErrCrashed is returned by every operation after a fault has killed
+	// the backend (or after Crash was called).
+	ErrCrashed = errors.New("faultfs: backend crashed")
+)
+
+// Op identifies a backend operation for the BeforeOp hook.
+type Op int
+
+// Operations observable through BeforeOp.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpSync
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	default:
+		return "unknown"
+	}
+}
+
+// Backend is an in-memory fault-injecting file. The zero value is not
+// usable; create with New or FromBytes. It is safe for concurrent use
+// (the pager serializes its own calls, but tests may poke it from the
+// test goroutine while a query runs).
+type Backend struct {
+	mu   sync.Mutex
+	data []byte
+	dead bool
+
+	writes int // completed or attempted WriteAt calls
+	syncs  int // completed or attempted Sync calls
+	reads  int
+
+	failWriteN int // fail the Nth write (1-based); 0 = never
+	tearBytes  int // bytes of the failing write applied before the fault
+	failSyncN  int // fail the Nth sync (1-based); 0 = never
+
+	delay time.Duration // stall applied before every operation
+
+	// BeforeOp, when set, runs before every operation (under the
+	// backend's lock); returning a non-nil error fails the operation
+	// with that error and kills the backend. off and n are -1 for Sync.
+	BeforeOp func(op Op, off int64, n int) error
+}
+
+// New returns an empty backend.
+func New() *Backend { return &Backend{} }
+
+// FromBytes returns a backend whose initial contents are a copy of b —
+// typically a Snapshot from a previous (crashed) backend, reopened as
+// the surviving file.
+func FromBytes(b []byte) *Backend {
+	return &Backend{data: append([]byte(nil), b...)}
+}
+
+// FailWrite arms a fault at the nth (1-based) WriteAt call counted from
+// now: the write applies its first tearBytes bytes, then the backend
+// dies. tearBytes <= 0 fails the write before any byte lands.
+func (b *Backend) FailWrite(n, tearBytes int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failWriteN = b.writes + n
+	b.tearBytes = tearBytes
+}
+
+// FailSync arms a fault at the nth (1-based) Sync call counted from now.
+func (b *Backend) FailSync(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failSyncN = b.syncs + n
+}
+
+// Stall makes every subsequent operation sleep for d first.
+func (b *Backend) Stall(d time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.delay = d
+}
+
+// Crash kills the backend immediately: every subsequent operation
+// returns ErrCrashed. The current contents remain available through
+// Snapshot — this is the reusable "bypass Close's flush" trick for
+// leaving a file in whatever state the protocol had reached.
+func (b *Backend) Crash() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.dead = true
+}
+
+// FlipBit flips one bit behind the pager's back, simulating bit rot. A
+// no-op when off is past the end of the data.
+func (b *Backend) FlipBit(off int64, bit uint) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if off >= 0 && off < int64(len(b.data)) {
+		b.data[off] ^= 1 << (bit % 8)
+	}
+}
+
+// Corrupt overwrites a byte range behind the pager's back, extending the
+// file if needed.
+func (b *Backend) Corrupt(off int64, junk []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if grow := off + int64(len(junk)) - int64(len(b.data)); grow > 0 {
+		b.data = append(b.data, make([]byte, grow)...)
+	}
+	copy(b.data[off:], junk)
+}
+
+// Snapshot returns a copy of the current contents — the bytes that
+// survive the crash. Usable even after the backend has died.
+func (b *Backend) Snapshot() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.data...)
+}
+
+// Writes returns the number of WriteAt calls observed so far.
+func (b *Backend) Writes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.writes
+}
+
+// Syncs returns the number of Sync calls observed so far.
+func (b *Backend) Syncs() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.syncs
+}
+
+// Dead reports whether the backend has crashed.
+func (b *Backend) Dead() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dead
+}
+
+// gate runs the common pre-operation checks under the lock.
+func (b *Backend) gate(op Op, off int64, n int) error {
+	if b.delay > 0 {
+		time.Sleep(b.delay)
+	}
+	if b.dead {
+		return ErrCrashed
+	}
+	if b.BeforeOp != nil {
+		if err := b.BeforeOp(op, off, n); err != nil {
+			b.dead = true
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAt implements io.ReaderAt with standard short-read/EOF semantics.
+func (b *Backend) ReadAt(p []byte, off int64) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reads++
+	if err := b.gate(OpRead, off, len(p)); err != nil {
+		return 0, err
+	}
+	if off >= int64(len(b.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt, honoring any armed write fault.
+func (b *Backend) WriteAt(p []byte, off int64) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.writes++
+	if err := b.gate(OpWrite, off, len(p)); err != nil {
+		return 0, err
+	}
+	apply := len(p)
+	injected := false
+	if b.failWriteN > 0 && b.writes >= b.failWriteN {
+		injected = true
+		apply = b.tearBytes
+		if apply < 0 {
+			apply = 0
+		}
+		if apply > len(p) {
+			apply = len(p)
+		}
+	}
+	if grow := off + int64(apply) - int64(len(b.data)); grow > 0 {
+		b.data = append(b.data, make([]byte, grow)...)
+	}
+	copy(b.data[off:], p[:apply])
+	if injected {
+		b.dead = true
+		return apply, ErrInjected
+	}
+	return len(p), nil
+}
+
+// Sync honors any armed sync fault; otherwise it is a no-op (writes are
+// modelled as immediately durable).
+func (b *Backend) Sync() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.syncs++
+	if err := b.gate(OpSync, -1, -1); err != nil {
+		return err
+	}
+	if b.failSyncN > 0 && b.syncs >= b.failSyncN {
+		b.dead = true
+		return ErrInjected
+	}
+	return nil
+}
+
+// Size returns the current length of the backing data.
+func (b *Backend) Size() (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dead {
+		return 0, ErrCrashed
+	}
+	return int64(len(b.data)), nil
+}
+
+// Close marks the backend closed. A dead backend still "closes" cleanly
+// so post-crash cleanup paths do not cascade errors.
+func (b *Backend) Close() error { return nil }

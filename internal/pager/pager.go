@@ -1,60 +1,109 @@
 // Package pager provides fixed-size page storage for the MASS indexes. A
-// Pager stores 8 KiB pages either wholly in memory or backed by a file on
-// disk. Higher layers (internal/btree) own page contents and caching; the
-// pager is only responsible for durable allocation, reads, writes, and the
-// free list.
+// Pager stores pages either wholly in memory or backed by a file on disk.
+// Higher layers (internal/btree) own page contents and caching; the pager
+// is responsible for durable allocation, reads, writes, the free list —
+// and, for file-backed stores, crash safety:
+//
+//   - every on-disk page carries a CRC32C trailer, stamped on write and
+//     verified on read, so torn writes and bit rot surface as a typed
+//     ErrChecksum instead of garbage propagating up the B+-trees;
+//   - metadata lives in two "ping-pong" meta pages (pages 0 and 1) with a
+//     monotonic epoch, so a crash during a metadata write always leaves
+//     one older-but-valid copy to recover from (ErrTornMeta is returned
+//     only when neither survives);
+//   - client writes are buffered and committed by Flush through a
+//     double-write journal: new page images are made durable in a journal
+//     region past the data pages before any page is overwritten in place,
+//     making every Flush atomic — after a crash at any point, reopening
+//     yields either the pre-Flush or the post-Flush store, never a mix.
+//
+// Open transparently recovers: it picks the newer valid meta page and
+// replays a committed-but-unapplied journal. Page payloads are verified
+// lazily, on first read.
 package pager
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 )
 
-// PageSize is the size in bytes of every page.
-const PageSize = 8192
+// DiskPageSize is the on-disk footprint of every page: the client payload
+// plus the integrity trailer.
+const DiskPageSize = 8192
 
-// PageID identifies a page. Page 0 is reserved for pager metadata (the free
-// list head and page count); the first allocatable page is 1.
+// pageTrailerSize is the per-page integrity trailer: 4 reserved bytes
+// (covered by the checksum, zero for now) and the 4-byte CRC32C.
+const pageTrailerSize = 8
+
+// PageSize is the size in bytes of every page payload — the unit clients
+// read and write.
+const PageSize = DiskPageSize - pageTrailerSize
+
+// PageID identifies a page. Pages 0 and 1 are reserved for the pager's
+// ping-pong metadata; the first allocatable page is 2.
 type PageID uint32
 
 // InvalidPage is the zero PageID, never returned by Allocate.
 const InvalidPage PageID = 0
+
+// firstDataPage is the first allocatable page id; pages below it hold the
+// two metadata copies.
+const firstDataPage PageID = 2
 
 var (
 	// ErrPageRange is returned when a page id is out of range.
 	ErrPageRange = errors.New("pager: page id out of range")
 	// ErrClosed is returned when the pager has been closed.
 	ErrClosed = errors.New("pager: closed")
+	// ErrChecksum is returned when a page read back from disk fails its
+	// CRC32C verification — a torn write, bit rot, or a truncated file.
+	// Errors wrapping it identify the page.
+	ErrChecksum = errors.New("pager: page checksum mismatch")
+	// ErrTornMeta is returned by Open when no valid metadata copy exists:
+	// both ping-pong meta pages are corrupt (or the file is not a VAMANA
+	// page file), or a committed journal they reference is unreadable.
+	ErrTornMeta = errors.New("pager: no valid metadata page")
 )
-
-// metaMagic identifies a pager file. Stored at the start of page 0.
-var metaMagic = [8]byte{'V', 'A', 'M', 'A', 'N', 'A', 'P', '1'}
 
 // Pager is a page allocator and reader/writer. It is safe for concurrent
 // use.
 type Pager struct {
-	mu       sync.Mutex
-	file     *os.File // nil in memory mode
-	mem      [][]byte // memory mode storage, indexed by PageID
-	npages   PageID   // number of pages including page 0
-	free     []PageID // free list (in-memory; persisted in page 0 on Flush)
+	mu      sync.Mutex
+	backend Backend  // nil in memory mode
+	mem     [][]byte // memory mode storage, indexed by PageID
+	npages  PageID   // number of pages including the two meta pages
+	free    []PageID // free list (in-memory; persisted in the meta page on Flush)
+	epoch   uint64   // meta epoch of the newest durable meta page
+	verify  bool     // verify page checksums on read
+
+	// pending buffers client writes (payload copies) between commits.
+	// Flush makes the whole batch durable atomically via the journal.
+	pending   map[PageID][]byte
+	metaDirty bool // allocation/free-list/userMeta changes since last commit
+
 	userMeta [userMetaSize]byte
 	closed   bool
 	m        Metrics // plain counters, guarded by mu
+
+	scratch []byte // DiskPageSize buffer reused for backend I/O
 }
 
 // Metrics counts the pager's I/O activity since open. All fields are
-// cumulative; Pages is the current page count (including the meta page).
+// cumulative; Pages is the current page count (including the meta pages).
 type Metrics struct {
-	Reads  uint64 // page reads served (memory copies or file reads)
-	Writes uint64 // page writes performed (write-through)
+	Reads  uint64 // page reads served (memory copies, buffered writes, or file reads)
+	Writes uint64 // page writes accepted (buffered until commit on file backends)
 	Allocs uint64 // pages allocated (fresh or recycled)
 	Frees  uint64 // pages returned to the free list
-	Pages  uint64 // current page count including the reserved meta page
+	Pages  uint64 // current page count including the reserved meta pages
+
+	// Durability and corruption counters (file backends only).
+	Commits        uint64 // Flush commits that reached the backend
+	ChecksumFails  uint64 // page reads that failed CRC verification
+	MetaFallbacks  uint64 // opens that lost one meta copy and recovered from the other
+	JournalReplays uint64 // opens that completed an interrupted commit from its journal
 }
 
 // Metrics returns a snapshot of the pager's I/O counters.
@@ -66,8 +115,8 @@ func (p *Pager) Metrics() Metrics {
 	return m
 }
 
-// userMetaSize is the number of client metadata bytes persisted in page 0.
-// The MASS store records its catalog tree root here.
+// userMetaSize is the number of client metadata bytes persisted with the
+// pager metadata. The MASS store records its catalog tree root here.
 const userMetaSize = 32
 
 // UserMeta returns the client metadata bytes persisted with the pager.
@@ -82,115 +131,75 @@ func (p *Pager) SetUserMeta(m [userMetaSize]byte) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.userMeta = m
+	p.metaDirty = true
 }
 
-// NewMemory returns a Pager that keeps all pages in memory.
+// NewMemory returns a Pager that keeps all pages in memory. Memory pagers
+// have no durability concerns: writes apply immediately, Flush is a no-op
+// and no checksums are kept.
 func NewMemory() *Pager {
-	p := &Pager{npages: 1}
-	p.mem = make([][]byte, 1)
-	p.mem[0] = make([]byte, PageSize)
+	p := &Pager{npages: firstDataPage}
+	p.mem = make([][]byte, firstDataPage)
+	for i := range p.mem {
+		p.mem[i] = make([]byte, PageSize)
+	}
 	return p
 }
 
-// Open opens (or creates) a file-backed pager at path. An existing file has
-// its metadata page validated and its free list restored.
+// Config configures OpenBackend.
+type Config struct {
+	// Backend is the storage to open the pager over.
+	Backend Backend
+	// DisableChecksumVerify skips CRC verification on page reads (pages
+	// are still stamped on write). For benchmarking and forensics only:
+	// it trades corruption detection for a few nanoseconds per read.
+	DisableChecksumVerify bool
+}
+
+// Open opens (or creates) a file-backed pager at path. An existing file
+// has its metadata validated (picking the newer of the two meta copies)
+// and any interrupted commit completed from its journal.
 func Open(path string) (*Pager, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	b, err := openFileBackend(path)
 	if err != nil {
-		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+		return nil, err
 	}
-	st, err := f.Stat()
+	p, err := OpenBackend(Config{Backend: b})
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pager: stat %s: %w", path, err)
-	}
-	p := &Pager{file: f}
-	if st.Size() == 0 {
-		p.npages = 1
-		if err := p.writePage(0, make([]byte, PageSize)); err != nil {
-			f.Close()
-			return nil, err
-		}
-		if err := p.Flush(); err != nil {
-			f.Close()
-			return nil, err
-		}
-		return p, nil
-	}
-	if st.Size()%PageSize != 0 {
-		f.Close()
-		return nil, fmt.Errorf("pager: %s: size %d not a multiple of page size", path, st.Size())
-	}
-	p.npages = PageID(st.Size() / PageSize)
-	if err := p.loadMeta(); err != nil {
-		f.Close()
+		b.Close()
 		return nil, err
 	}
 	return p, nil
 }
 
-// loadMeta restores the free list from page 0.
-func (p *Pager) loadMeta() error {
-	buf := make([]byte, PageSize)
-	if err := p.readPage(0, buf); err != nil {
-		return err
+// OpenBackend opens (or creates) a pager over an arbitrary Backend. The
+// caller retains ownership of the backend only on error; on success the
+// pager closes it.
+func OpenBackend(cfg Config) (*Pager, error) {
+	p := &Pager{
+		backend: cfg.Backend,
+		verify:  !cfg.DisableChecksumVerify,
+		pending: make(map[PageID][]byte),
+		scratch: make([]byte, DiskPageSize),
 	}
-	if [8]byte(buf[:8]) != metaMagic {
-		return errors.New("pager: bad magic: not a VAMANA page file")
+	size, err := cfg.Backend.Size()
+	if err != nil {
+		return nil, fmt.Errorf("pager: size: %w", err)
 	}
-	n := binary.LittleEndian.Uint32(buf[8:12])
-	if PageID(n) > p.npages {
-		return fmt.Errorf("pager: meta page count %d exceeds file pages %d", n, p.npages)
-	}
-	p.npages = PageID(n)
-	copy(p.userMeta[:], buf[12:12+userMetaSize])
-	stored := binary.LittleEndian.Uint32(buf[12+userMetaSize : 16+userMetaSize])
-	p.free = p.free[:0]
-	off := 16 + userMetaSize
-	for i := uint32(0); i < stored; i++ {
-		if off+4 > PageSize {
-			return errors.New("pager: corrupt free list")
+	if size == 0 {
+		// Fresh file: establish the first valid meta copy so a crash
+		// immediately after creation still reopens cleanly.
+		p.npages = firstDataPage
+		p.metaDirty = true
+		if err := p.commitLocked(); err != nil {
+			return nil, err
 		}
-		p.free = append(p.free, PageID(binary.LittleEndian.Uint32(buf[off:off+4])))
-		off += 4
+		return p, nil
 	}
-	return nil
-}
-
-// Flush persists pager metadata (page count and free list). Page writes
-// themselves are write-through, so this is cheap. In memory mode it is a
-// no-op.
-func (p *Pager) Flush() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return ErrClosed
+	if err := p.recoverLocked(size); err != nil {
+		return nil, err
 	}
-	if p.file == nil {
-		return nil
-	}
-	buf := make([]byte, PageSize)
-	copy(buf[:8], metaMagic[:])
-	binary.LittleEndian.PutUint32(buf[8:12], uint32(p.npages))
-	copy(buf[12:12+userMetaSize], p.userMeta[:])
-	// The free list that fits in the meta page is persisted; overflow
-	// pages are simply leaked on reopen, which is safe (never reused but
-	// never referenced).
-	maxFree := (PageSize - 16 - userMetaSize) / 4
-	n := len(p.free)
-	if n > maxFree {
-		n = maxFree
-	}
-	binary.LittleEndian.PutUint32(buf[12+userMetaSize:16+userMetaSize], uint32(n))
-	off := 16 + userMetaSize
-	for i := 0; i < n; i++ {
-		binary.LittleEndian.PutUint32(buf[off:off+4], uint32(p.free[i]))
-		off += 4
-	}
-	if err := p.writePage(0, buf); err != nil {
-		return err
-	}
-	return p.file.Sync()
+	return p, nil
 }
 
 // Allocate returns a fresh (or recycled) page id. The page contents are
@@ -202,6 +211,7 @@ func (p *Pager) Allocate() (PageID, error) {
 		return InvalidPage, ErrClosed
 	}
 	p.m.Allocs++
+	p.metaDirty = true
 	if n := len(p.free); n > 0 {
 		id := p.free[n-1]
 		p.free = p.free[:n-1]
@@ -209,7 +219,7 @@ func (p *Pager) Allocate() (PageID, error) {
 	}
 	id := p.npages
 	p.npages++
-	if p.file == nil {
+	if p.backend == nil {
 		p.mem = append(p.mem, make([]byte, PageSize))
 	}
 	return id, nil
@@ -222,16 +232,18 @@ func (p *Pager) Free(id PageID) error {
 	if p.closed {
 		return ErrClosed
 	}
-	if id == 0 || id >= p.npages {
+	if id < firstDataPage || id >= p.npages {
 		return ErrPageRange
 	}
 	p.m.Frees++
+	p.metaDirty = true
 	p.free = append(p.free, id)
 	return nil
 }
 
 // Read copies the contents of page id into buf, which must be PageSize
-// bytes long.
+// bytes long. File-backed reads verify the page's CRC32C and return an
+// error wrapping ErrChecksum on mismatch.
 func (p *Pager) Read(id PageID, buf []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -241,11 +253,47 @@ func (p *Pager) Read(id PageID, buf []byte) error {
 	if id >= p.npages {
 		return ErrPageRange
 	}
+	if len(buf) != PageSize {
+		return fmt.Errorf("pager: read buffer is %d bytes, want %d", len(buf), PageSize)
+	}
 	p.m.Reads++
-	return p.readPage(id, buf)
+	if p.backend == nil {
+		copy(buf, p.mem[id])
+		return nil
+	}
+	if img, ok := p.pending[id]; ok {
+		copy(buf, img)
+		return nil
+	}
+	return p.readDisk(id, buf)
 }
 
-// Write stores buf (PageSize bytes) as the contents of page id.
+// readDisk reads and verifies page id from the backend into buf (PageSize
+// bytes). Short reads (a page past the durable end of file) fail
+// verification like any other torn page.
+func (p *Pager) readDisk(id PageID, buf []byte) error {
+	n, err := p.backend.ReadAt(p.scratch, int64(id)*DiskPageSize)
+	if err != nil && n < DiskPageSize {
+		for i := n; i < DiskPageSize; i++ {
+			p.scratch[i] = 0
+		}
+		// A short read at the tail is a verification failure below, not
+		// an I/O error; a failed full-length read is surfaced as-is.
+		if n == 0 && !errors.Is(err, io.EOF) {
+			return fmt.Errorf("pager: read page %d: %w", id, err)
+		}
+	}
+	if p.verify && !verifyPage(p.scratch, id) {
+		p.m.ChecksumFails++
+		return fmt.Errorf("%w: page %d", ErrChecksum, id)
+	}
+	copy(buf, p.scratch[:PageSize])
+	return nil
+}
+
+// Write stores buf (PageSize bytes) as the contents of page id. On file
+// backends the write is buffered; Flush commits the whole batch
+// atomically.
 func (p *Pager) Write(id PageID, buf []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -255,40 +303,40 @@ func (p *Pager) Write(id PageID, buf []byte) error {
 	if id >= p.npages {
 		return ErrPageRange
 	}
-	p.m.Writes++
-	return p.writePage(id, buf)
-}
-
-func (p *Pager) readPage(id PageID, buf []byte) error {
-	if len(buf) != PageSize {
-		return fmt.Errorf("pager: read buffer is %d bytes, want %d", len(buf), PageSize)
-	}
-	if p.file == nil {
-		copy(buf, p.mem[id])
-		return nil
-	}
-	_, err := p.file.ReadAt(buf, int64(id)*PageSize)
-	if err != nil && err != io.EOF {
-		return fmt.Errorf("pager: read page %d: %w", id, err)
-	}
-	return nil
-}
-
-func (p *Pager) writePage(id PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("pager: write buffer is %d bytes, want %d", len(buf), PageSize)
 	}
-	if p.file == nil {
+	p.m.Writes++
+	if p.backend == nil {
 		copy(p.mem[id], buf)
 		return nil
 	}
-	if _, err := p.file.WriteAt(buf, int64(id)*PageSize); err != nil {
-		return fmt.Errorf("pager: write page %d: %w", id, err)
+	img, ok := p.pending[id]
+	if !ok {
+		img = make([]byte, PageSize)
+		p.pending[id] = img
 	}
+	copy(img, buf)
 	return nil
 }
 
-// NumPages returns the number of pages, including the reserved meta page.
+// Flush atomically commits all buffered page writes and the pager
+// metadata (page count, free list, user metadata). In memory mode it is a
+// no-op. A crash at any point during Flush leaves the store recoverable
+// to either its pre-Flush or post-Flush state.
+func (p *Pager) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if p.backend == nil {
+		return nil
+	}
+	return p.commitLocked()
+}
+
+// NumPages returns the number of pages, including the reserved meta pages.
 func (p *Pager) NumPages() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -296,7 +344,7 @@ func (p *Pager) NumPages() int {
 }
 
 // InMemory reports whether the pager has no backing file.
-func (p *Pager) InMemory() bool { return p.file == nil }
+func (p *Pager) InMemory() bool { return p.backend == nil }
 
 // Close flushes metadata and releases the backing file, if any.
 func (p *Pager) Close() error {
@@ -309,9 +357,52 @@ func (p *Pager) Close() error {
 		return nil
 	}
 	p.closed = true
-	if p.file != nil {
-		return p.file.Close()
+	if p.backend != nil {
+		return p.backend.Close()
 	}
 	p.mem = nil
 	return nil
+}
+
+// Verify checks the CRC32C of every durable allocated page (free-listed
+// pages hold stale images and are skipped) and returns the number of
+// pages checked plus the ids that failed verification. Buffered writes
+// are committed first so the scan sees the current state, and checksums
+// are checked even when the pager was opened with DisableChecksumVerify
+// (that flag governs only the regular read path). Memory pagers have
+// nothing to verify.
+func (p *Pager) Verify() (checked int, corrupt []PageID, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, nil, ErrClosed
+	}
+	if p.backend == nil {
+		return 0, nil, nil
+	}
+	if err := p.commitLocked(); err != nil {
+		return 0, nil, err
+	}
+	skip := make(map[PageID]bool, len(p.free))
+	for _, id := range p.free {
+		skip[id] = true
+	}
+	saved := p.verify
+	p.verify = true
+	defer func() { p.verify = saved }()
+	buf := make([]byte, PageSize)
+	for id := firstDataPage; id < p.npages; id++ {
+		if skip[id] {
+			continue
+		}
+		checked++
+		if err := p.readDisk(id, buf); err != nil {
+			if errors.Is(err, ErrChecksum) {
+				corrupt = append(corrupt, id)
+				continue
+			}
+			return checked, corrupt, err
+		}
+	}
+	return checked, corrupt, nil
 }

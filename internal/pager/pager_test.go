@@ -2,6 +2,8 @@ package pager
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -77,7 +79,10 @@ func TestPageRangeErrors(t *testing.T) {
 		t.Fatalf("Write out of range: %v", err)
 	}
 	if err := p.Free(0); err != ErrPageRange {
-		t.Fatalf("Free meta page: %v", err)
+		t.Fatalf("Free meta page 0: %v", err)
+	}
+	if err := p.Free(1); err != ErrPageRange {
+		t.Fatalf("Free meta page 1: %v", err)
 	}
 }
 
@@ -158,26 +163,15 @@ func TestClosedErrors(t *testing.T) {
 
 func TestOpenRejectsGarbage(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "garbage.vam")
-	if err := writeGarbage(path); err != nil {
+	junk := make([]byte, 2*DiskPageSize)
+	copy(junk, []byte("NOTAPAGEFILE"))
+	if err := os.WriteFile(path, junk, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(path); err == nil {
-		t.Fatal("Open accepted a non-pager file")
+	_, err := Open(path)
+	if !errors.Is(err, ErrTornMeta) {
+		t.Fatalf("Open of a non-pager file: got %v, want ErrTornMeta", err)
 	}
-}
-
-func writeGarbage(path string) error {
-	p, err := Open(path)
-	if err != nil {
-		return err
-	}
-	// Corrupt the magic by writing junk directly over page 0.
-	junk := make([]byte, PageSize)
-	copy(junk, []byte("NOTAPAGEFILE"))
-	if err := p.writePage(0, junk); err != nil {
-		return err
-	}
-	return p.file.Close() // bypass Close's Flush so the junk survives
 }
 
 func TestUserMetaPersistence(t *testing.T) {

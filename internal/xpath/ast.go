@@ -158,10 +158,23 @@ func (e *Binary) String() string {
 
 func (e *Unary) String() string { return fmt.Sprintf("-%s", e.Operand) }
 
-func (e *Literal) String() string { return strconv.Quote(e.Value) }
+// String renders the literal in XPath 1.0 syntax, which has no escape
+// sequences: the value is wrapped in whichever quote kind it does not
+// contain. A parsed literal can hold at most one quote kind, so one of
+// the two delimiters is always available.
+func (e *Literal) String() string {
+	if strings.ContainsRune(e.Value, '\'') {
+		return `"` + e.Value + `"`
+	}
+	return "'" + e.Value + "'"
+}
 
+// String renders the number without an exponent — the XPath 1.0 Number
+// production is digits-and-dot only, so 'g' formatting (1e+08) would not
+// reparse. Parsed numbers are always finite and non-negative, which 'f'
+// renders lexably for any magnitude.
 func (e *Number) String() string {
-	return strconv.FormatFloat(e.Value, 'g', -1, 64)
+	return strconv.FormatFloat(e.Value, 'f', -1, 64)
 }
 
 func (e *FuncCall) String() string {

@@ -1,0 +1,51 @@
+package xpath
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzParse asserts the parser's two robustness properties on arbitrary
+// input: it never panics, and any expression it accepts round-trips
+// through String() — the rendering reparses successfully and renders to
+// the same string again (String is a fixed point after one step; the
+// original source may differ in whitespace or abbreviations).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"//person/address",
+		"/descendant::name/parent::*/self::person/address",
+		"//province[text()='Vermont']/ancestor::person",
+		"//person[@id='person5']",
+		"//address[zipcode > 50]/city",
+		"//person[count(watches/watch) > 1]/name",
+		"//item[contains(name, 'gold')]",
+		"//category | //edge",
+		"//person[2]/name | //a[last()]",
+		"substring-before(//a, 'x')",
+		"-(1 + 2.5) * $v",
+		"book/../@*",
+		"//a[not(b)][starts-with(c, \"d\")]",
+		"a[b='it''s']",
+		"'lone",
+		"((",
+		"@",
+		"a::b::c",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		e, err := Parse(expr) // must not panic
+		if err != nil {
+			return
+		}
+		s1 := fmt.Sprint(e)
+		e2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("String() output does not reparse:\n  source: %q\n  render: %q\n  error: %v", expr, s1, err)
+		}
+		s2 := fmt.Sprint(e2)
+		if s1 != s2 {
+			t.Fatalf("String() is not a fixed point:\n  source: %q\n  first:  %q\n  second: %q", expr, s1, s2)
+		}
+	})
+}

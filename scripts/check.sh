@@ -41,4 +41,23 @@ echo "== governance overhead gate (governed vs ungoverned serving, 3% budget)"
 # TestGovernanceOverheadGate.
 VAMANA_GOVERNANCE_GATE=1 go test -run '^TestGovernanceOverheadGate$' -v -count 1 .
 
+echo "== crash matrix (fault injection at every backend write and sync)"
+go test -race -run '^TestCrashMatrix$|^TestFlushCrashMatrix$' -count 1 . ./internal/pager/
+
+echo "== differential stress (optimized vs unoptimized vs DOM oracle)"
+# 2,400 seeded (document, query) pairs behind the stress tag; any
+# disagreement prints the seed needed to reproduce it. The timeout is the
+# fixed time budget — the run takes well under a minute.
+go test -tags stress -run '^TestDifferentialStress$' -timeout 10m -count 1 .
+
+echo "== fuzz smokes (10s each)"
+go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/xpath/
+go test -run '^$' -fuzz '^FuzzFlexKey$' -fuzztime 10s ./internal/flex/
+go test -run '^$' -fuzz '^FuzzPagerReopen$' -fuzztime 10s ./internal/pager/
+
+echo "== checksum overhead gate (verified vs raw page reads, 3% budget)"
+# Paired interleaved rounds under a constrained page cache so warm
+# queries keep reading through the pager — see TestChecksumOverheadGate.
+VAMANA_CHECKSUM_GATE=1 go test -run '^TestChecksumOverheadGate$' -v -count 1 .
+
 echo "OK"

@@ -59,6 +59,17 @@ type Options struct {
 	// demand). 0 selects a default of ~6K pages. This is the knob that
 	// keeps memory flat however large the documents grow.
 	CachePages int
+	// Backend, when non-nil, overrides Path as the raw storage under the
+	// page layer. Production stores use Path; Backend exists for tests
+	// and tools that need to interpose on the database's I/O (e.g. fault
+	// injection, read-only snapshots).
+	Backend Backend
+	// DisableChecksumVerify opens the store without verifying per-page
+	// CRC32C checksums on reads (pages are still stamped on write). This
+	// trades corruption detection for a small per-read saving; it exists
+	// for benchmarking the checksum cost and for forensic salvage of a
+	// damaged store. Leave it false in production.
+	DisableChecksumVerify bool
 	// PlanCacheSize bounds the number of compiled query plans kept by the
 	// serving fast path (DB.Query). 0 selects the default of 256 plans;
 	// negative disables plan caching, making DB.Query compile on every
@@ -110,13 +121,15 @@ type DB struct {
 // Open creates or reopens a database.
 func Open(opts Options) (*DB, error) {
 	e, err := core.Open(core.Options{
-		Path:               opts.Path,
-		CachePages:         opts.CachePages,
-		PlanCacheSize:      opts.PlanCacheSize,
-		SlowQueryThreshold: opts.SlowQueryThreshold,
-		SlowQueryLog:       opts.SlowQueryLog,
-		TraceEvery:         opts.TraceEvery,
-		TraceSink:          opts.TraceSink,
+		Path:                  opts.Path,
+		CachePages:            opts.CachePages,
+		Backend:               opts.Backend,
+		DisableChecksumVerify: opts.DisableChecksumVerify,
+		PlanCacheSize:         opts.PlanCacheSize,
+		SlowQueryThreshold:    opts.SlowQueryThreshold,
+		SlowQueryLog:          opts.SlowQueryLog,
+		TraceEvery:            opts.TraceEvery,
+		TraceSink:             opts.TraceSink,
 	})
 	if err != nil {
 		return nil, err
