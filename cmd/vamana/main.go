@@ -35,6 +35,8 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "docs":
 		err = cmdDocs(os.Args[2:])
+	case "traces":
+		err = cmdTraces(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
 	case "help", "-h", "--help":
@@ -54,11 +56,14 @@ func usage() {
   vamana load    -db FILE -name NAME XMLFILE   index a document into a database
   vamana query   (-db FILE -doc NAME | -xml XMLFILE) [-opt] [-values] [-limit N]
                  [-timeout DUR] [-max-results N] [-max-pages N] [-max-records N]
-                 [-slow DUR] [-trace N] [-cpuprofile F] [-memprofile F] [-metrics-addr A] XPATH
+                 [-slow DUR] [-trace N] [-flight N] [-trace-out F.json]
+                 [-cpuprofile F] [-memprofile F] [-metrics-addr A] [-hold] XPATH
   vamana explain (-db FILE -doc NAME | -xml XMLFILE) [-default] [-analyze]
                  [-cpuprofile F] [-memprofile F] [-metrics-addr A] XPATH
   vamana stats   -db FILE -doc NAME [-name ELEM] [-text VALUE]
   vamana docs    -db FILE
+  vamana traces  -addr HOST:PORT [-n N] [-chrome F.json]
+                                               dump a serving process's flight recorder
   vamana verify  -db FILE                      checksum every page of a database
 `)
 	os.Exit(2)
@@ -158,6 +163,7 @@ func cmdQuery(args []string) error {
 	maxResults := fs.Uint64("max-results", 0, "fail the query past N results (0 = unlimited)")
 	maxPages := fs.Uint64("max-pages", 0, "fail the query past N index pages read (0 = unlimited)")
 	maxRecords := fs.Uint64("max-records", 0, "fail the query past N records decoded (0 = unlimited)")
+	hold := fs.Bool("hold", false, "after the query, keep serving -metrics-addr until interrupted")
 	var of obsFlags
 	of.register(fs)
 	fs.Parse(args)
@@ -221,6 +227,11 @@ func cmdQuery(args []string) error {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "%d result(s)\n", n)
+	of.writeTraceOut()
+	if *hold && of.metricsAddr != "" {
+		fmt.Fprintf(os.Stderr, "serving %s until interrupt\n", of.metricsAddr)
+		<-ctx.Done()
+	}
 	return nil
 }
 

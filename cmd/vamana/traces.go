@@ -1,0 +1,63 @@
+package main
+
+// The traces subcommand: dump a serving process's flight recorder over
+// its -metrics-addr introspection endpoint.
+//
+//	vamana traces -addr localhost:9090              indented span trees
+//	vamana traces -addr localhost:9090 -chrome f.json  Chrome trace file
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+)
+
+func cmdTraces(args []string) error {
+	fs := flag.NewFlagSet("traces", flag.ExitOnError)
+	addr := fs.String("addr", "", "the serving process's -metrics-addr (e.g. localhost:9090)")
+	n := fs.Int("n", 0, "fetch only the N most recent traces (0 = all)")
+	chrome := fs.String("chrome", "", "write Chrome trace-event JSON to this file instead of printing trees")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("traces needs -addr")
+	}
+
+	q := url.Values{}
+	if *n > 0 {
+		q.Set("n", strconv.Itoa(*n))
+	}
+	var out io.Writer = os.Stdout
+	if *chrome != "" {
+		q.Set("format", "chrome")
+		f, err := os.Create(*chrome)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	} else {
+		q.Set("format", "text")
+	}
+	u := url.URL{Scheme: "http", Host: *addr, Path: "/debug/vamana/traces", RawQuery: q.Encode()}
+
+	resp, err := http.Get(u.String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("traces: %s: %s", resp.Status, body)
+	}
+	if _, err := io.Copy(out, resp.Body); err != nil {
+		return err
+	}
+	if *chrome != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s — open it in https://ui.perfetto.dev\n", *chrome)
+	}
+	return nil
+}

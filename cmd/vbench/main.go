@@ -40,6 +40,7 @@ func main() {
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		metricsAddr = flag.String("metrics-addr", "", "serve the global metrics endpoint on this address")
+		traceOut    = flag.String("trace-out", "", "after the sweep, run each query once traced and write Chrome trace JSON to this file")
 	)
 	flag.Parse()
 
@@ -133,6 +134,49 @@ func main() {
 			fmt.Println(bench.FormatMemoryTable(results))
 		}
 	}
+
+	if *traceOut != "" {
+		if err := writeTraces(*traceOut, fixtures, queries); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeTraces runs each workload query once per fixture with span
+// recording on (after the timed sweep, so tracing never perturbs the
+// reported numbers) and writes the collected traces as a Chrome
+// trace-event file for Perfetto / chrome://tracing.
+func writeTraces(path string, fixtures []*bench.Fixture, queries []bench.Query) error {
+	var traces []*obs.QueryTrace
+	for _, f := range fixtures {
+		engine, doc := f.VamanaEngine()
+		engine.EnableFlightRecorder(len(queries))
+		for _, q := range queries {
+			it, err := engine.Query(doc, q.XPath)
+			if err != nil {
+				return fmt.Errorf("trace %s: %w", q.ID, err)
+			}
+			for it.Next() {
+			}
+			it.Close()
+		}
+		// snapshot is newest first; keep run order within the fixture.
+		ts := engine.Traces()
+		for i := len(ts) - 1; i >= 0; i-- {
+			traces = append(traces, ts[i])
+		}
+		engine.EnableFlightRecorder(0)
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := obs.WriteChromeTrace(out, traces); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d trace(s) to %s — open in https://ui.perfetto.dev\n", len(traces), path)
+	return nil
 }
 
 // bestOf repeats each point and keeps the fastest successful run —

@@ -1,0 +1,144 @@
+package vamana
+
+// The live introspection server: /debug/vamana/* JSON endpoints over one
+// database, for operators with curl and dashboards that want rates, not
+// lifetime totals. Mounted by DebugHandler; cmd/vamana's -metrics-addr
+// serves it alongside the Prometheus exposition.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"vamana/internal/obs"
+)
+
+// debugRateWindow is the sliding window over which /debug/vamana/metrics
+// reports counter rates.
+const debugRateWindow = time.Minute
+
+// DebugHandler returns an HTTP handler serving the database's live
+// introspection endpoints under the given prefix (conventionally
+// "/debug/vamana"):
+//
+//	<prefix>/metrics    counters, quantiles, and per-second rates over
+//	                    the last minute (JSON)
+//	<prefix>/slow       the slow-query ring, most recent first
+//	<prefix>/traces     the flight recorder; ?format=chrome for Chrome
+//	                    trace-event JSON, ?format=text for span trees,
+//	                    JSON otherwise; ?n=N limits the count
+//	<prefix>/plancache  plan-cache and statistics-memo counters
+//	<prefix>/docs       loaded documents with node statistics
+//
+// The Prometheus text exposition stays on MetricsHandler; these
+// endpoints are JSON for tools and humans, not scrapers. The handler is
+// safe for concurrent use and holds no locks between requests.
+func (db *DB) DebugHandler(prefix string) http.Handler {
+	rates := obs.NewRateWindow(debugRateWindow, func() map[string]uint64 {
+		s := obs.Snapshot()
+		m := db.StorageMetrics()
+		s["vamana_pager_page_reads_total"] = m.Pager.Reads
+		s["vamana_pager_page_writes_total"] = m.Pager.Writes
+		s["vamana_btree_cache_hits_total"] = m.Index.CacheHits
+		s["vamana_btree_cache_misses_total"] = m.Index.CacheMisses
+		s["vamana_mass_records_decoded_total"] = m.RecordsDecoded
+		return s
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc(prefix+"/metrics", func(w http.ResponseWriter, r *http.Request) {
+		counters := obs.Snapshot()
+		perSec, window := rates.Rates()
+		writeJSON(w, map[string]any{
+			"counters":       counters,
+			"storage":        db.StorageMetrics(),
+			"rates_per_sec":  perSec,
+			"rate_window_ns": window.Nanoseconds(),
+		})
+	})
+	mux.HandleFunc(prefix+"/slow", func(w http.ResponseWriter, r *http.Request) {
+		slow := db.SlowQueries()
+		// SlowQuery carries an error interface and no JSON tags; render
+		// an explicit shape matching the trace exporter's field names.
+		type slowEntry struct {
+			Expr           string    `json:"expr"`
+			Doc            uint64    `json:"doc"`
+			Start          time.Time `json:"start"`
+			TotalNS        int64     `json:"total_ns"`
+			Results        uint64    `json:"results"`
+			CacheHit       bool      `json:"cache_hit"`
+			PagesRead      uint64    `json:"pages_read"`
+			RecordsDecoded uint64    `json:"records_decoded"`
+			NodeCacheHits  uint64    `json:"node_cache_hits"`
+			TraceID        uint64    `json:"trace_id,omitempty"`
+			Err            string    `json:"err,omitempty"`
+		}
+		out := make([]slowEntry, len(slow))
+		for i, sq := range slow {
+			out[i] = slowEntry{
+				Expr:           sq.Expr,
+				Doc:            uint64(sq.Doc),
+				Start:          sq.Start,
+				TotalNS:        sq.Total.Nanoseconds(),
+				Results:        sq.Results,
+				CacheHit:       sq.CacheHit,
+				PagesRead:      sq.PagesRead,
+				RecordsDecoded: sq.RecordsDecoded,
+				NodeCacheHits:  sq.NodeCacheHits,
+				TraceID:        sq.TraceID,
+			}
+			if sq.Err != nil {
+				out[i].Err = sq.Err.Error()
+			}
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc(prefix+"/traces", func(w http.ResponseWriter, r *http.Request) {
+		traces := db.RecentTraces()
+		if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n >= 0 && n < len(traces) {
+			traces = traces[:n]
+		}
+		switch r.URL.Query().Get("format") {
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			_ = obs.WriteChromeTrace(w, traces)
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, t := range traces {
+				_ = t.WriteTree(w)
+			}
+		default:
+			writeJSON(w, traces)
+		}
+	})
+	mux.HandleFunc(prefix+"/plancache", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, db.CacheStats())
+	})
+	mux.HandleFunc(prefix+"/docs", func(w http.ResponseWriter, r *http.Request) {
+		type docEntry struct {
+			Name     string `json:"name"`
+			Nodes    uint64 `json:"nodes"`
+			Elements uint64 `json:"elements"`
+			Texts    uint64 `json:"texts"`
+		}
+		var out []docEntry
+		for _, name := range db.Documents() {
+			e := docEntry{Name: name}
+			if d, err := db.Document(name); err == nil {
+				if st, err := d.Stats(); err == nil {
+					e.Nodes, e.Elements, e.Texts = st.Nodes, st.Elements, st.Texts
+				}
+			}
+			out = append(out, e)
+		}
+		writeJSON(w, out)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}

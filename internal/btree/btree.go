@@ -161,6 +161,7 @@ func (t *Tree) load(id pager.PageID) (*node, error) { return t.loadFor(id, nil) 
 func (t *Tree) loadFor(id pager.PageID, lim *govern.Limiter) (*node, error) {
 	if n, ok := t.cache[id]; ok {
 		t.m.CacheHits++
+		lim.AddCacheHits(1)
 		return n, nil
 	}
 	if err := lim.AddPages(1); err != nil {

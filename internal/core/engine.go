@@ -56,6 +56,12 @@ type Options struct {
 	// finishes. Called from the goroutine that drained the iterator;
 	// implementations should be fast or hand off.
 	TraceSink func(*TraceContext)
+	// FlightRecorderSize keeps the last N complete query traces (with
+	// full span trees) in a bounded ring, readable via Engine.Traces —
+	// so a query that turns out slow or budget-tripped is already
+	// captured. N>0 records spans for every query (independent of
+	// TraceEvery sampling); 0 disables the recorder.
+	FlightRecorderSize int
 }
 
 // Engine is a VAMANA instance: one MASS store plus the query pipeline.
@@ -76,6 +82,11 @@ type Engine struct {
 	traceEvery uint64
 	traceSink  func(*TraceContext)
 	traceN     atomic.Uint64
+	// flight is the bounded ring of recent complete traces; nil when
+	// Options.FlightRecorderSize is 0.
+	flight *flightRecorder
+	// traceSeq mints TraceContext IDs.
+	traceSeq atomic.Uint64
 }
 
 // Open creates or reopens an engine.
@@ -100,6 +111,9 @@ func Open(opts Options) (*Engine, error) {
 	if opts.TraceEvery > 0 {
 		e.traceEvery = uint64(opts.TraceEvery)
 		e.traceSink = opts.TraceSink
+	}
+	if opts.FlightRecorderSize > 0 {
+		e.flight = newFlightRecorder(opts.FlightRecorderSize)
 	}
 	return e, nil
 }
@@ -276,18 +290,29 @@ func (e *Engine) QueryContext(cctx context.Context, doc mass.DocID, expr string,
 		FinishStart: start,
 		FinishObj:   q,
 	}
-	// A sampled query (and the rare compile miss, whose cost dwarfs one
+	// A traced query records per-operator spans: 1-in-TraceEvery samples,
+	// or every query when the flight recorder is on (so slow/budget-
+	// tripped queries are captured retroactively). Slow-query tracking
+	// alone arms the accounting limiter without spans, so every slow
+	// entry carries its storage deltas.
+	sampled := e.traceEvery > 0 && e.traceN.Add(1)%e.traceEvery == 0
+	traced := sampled || e.flight != nil
+	ctx.Trace = traced
+	ctx.Account = e.slow != nil
+	// A traced query (and the rare compile miss, whose cost dwarfs one
 	// allocation) carries a TraceContext instead of the bare Query, so
 	// the finish hook can report compile time and cache-hit status.
-	sampled := e.traceEvery > 0 && e.traceN.Add(1)%e.traceEvery == 0
-	if sampled || !hit {
+	if traced || !hit {
 		tc := &TraceContext{
+			ID:       e.traceSeq.Add(1),
 			Expr:     expr,
 			Doc:      doc,
 			Start:    start,
 			CacheHit: hit,
 			Compile:  time.Since(start),
 			sampled:  sampled,
+			traced:   traced,
+			q:        q,
 		}
 		if sampled {
 			obs.TracesSampled.Inc()
@@ -314,13 +339,22 @@ func (e *Engine) queryFinished(it *exec.Iterator) {
 		tc.Total = total
 		tc.Results = it.Results()
 		tc.Err = it.Err()
+		if lim := it.Limiter(); lim != nil {
+			tc.PagesRead = lim.PagesRead()
+			tc.RecordsDecoded = lim.DecodedRecords()
+			tc.NodeCacheHits = lim.NodeCacheHits()
+		}
+		if tc.traced {
+			tc.DocName = e.store.DocName(tc.Doc)
+			tc.Root = buildSpanTree(tc.q.plan, it.StepSpans(), it.Results(), int64(total))
+		}
 	case *Query:
 		// The unsampled cache-hit fast path carries the shared Query.
 		expr, hit = o.expr, true
 	}
 	if e.slow != nil && total >= e.slow.threshold {
 		obs.SlowQueries.Inc()
-		e.slow.record(SlowQuery{
+		sq := SlowQuery{
 			Expr:     expr,
 			Doc:      it.Doc(),
 			Start:    it.StartTime(),
@@ -328,11 +362,45 @@ func (e *Engine) queryFinished(it *exec.Iterator) {
 			Results:  it.Results(),
 			CacheHit: hit,
 			Err:      it.Err(),
-		})
+		}
+		if lim := it.Limiter(); lim != nil {
+			sq.PagesRead = lim.PagesRead()
+			sq.RecordsDecoded = lim.DecodedRecords()
+			sq.NodeCacheHits = lim.NodeCacheHits()
+		}
+		if tc != nil && tc.traced {
+			sq.TraceID = tc.ID
+		}
+		e.slow.record(sq)
+	}
+	if tc != nil && tc.traced && e.flight != nil {
+		e.flight.record(tc.Export())
 	}
 	if tc != nil && tc.sampled && e.traceSink != nil {
 		e.traceSink(tc)
 	}
+}
+
+// EnableFlightRecorder turns the flight recorder on (or resizes it)
+// after Open — used by tools that benchmark untraced first and then
+// want a traced pass on the same engine. Not safe to call concurrently
+// with in-flight queries.
+func (e *Engine) EnableFlightRecorder(size int) {
+	if size <= 0 {
+		e.flight = nil
+		return
+	}
+	e.flight = newFlightRecorder(size)
+}
+
+// Traces returns the flight recorder's contents — the last N complete
+// query traces with span trees, most recent first. Empty unless
+// Options.FlightRecorderSize is set.
+func (e *Engine) Traces() []*obs.QueryTrace {
+	if e.flight == nil {
+		return nil
+	}
+	return e.flight.snapshot()
 }
 
 // SlowQueries returns the recorded slow queries, most recent first (empty

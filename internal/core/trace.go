@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"vamana/internal/mass"
+	"vamana/internal/obs"
 )
 
 // TraceContext is a per-query execution trace, produced for 1-in-N
@@ -14,8 +15,13 @@ import (
 // Sampled queries carry their TraceContext through the iterator's finish
 // hook; unsampled cache-hit queries allocate nothing.
 type TraceContext struct {
+	// ID is the engine-assigned trace sequence number, unique per engine
+	// lifetime; the slow-query ring references it to link a slow entry to
+	// its flight-recorder trace.
+	ID       uint64
 	Expr     string
 	Doc      mass.DocID
+	DocName  string // resolved document name, set when spans are recorded
 	Start    time.Time
 	CacheHit bool          // plan came from the plan cache
 	Compile  time.Duration // time to produce the plan (lookup or compile)
@@ -23,10 +29,25 @@ type TraceContext struct {
 	Results  uint64        // result tuples delivered
 	Err      error         // execution error, if any
 
+	// Whole-query storage consumption, filled at finish from the run's
+	// accounting limiter (zero when the run was ungoverned).
+	PagesRead      uint64
+	RecordsDecoded uint64
+	NodeCacheHits  uint64
+
+	// Root is the assembled operator span tree — present when the run
+	// recorded spans (sampled, or the flight recorder is on).
+	Root *obs.Span
+
 	// sampled distinguishes a 1-in-N trace (delivered to TraceSink and
 	// counted) from a TraceContext allocated only to carry cache-miss
 	// detail to the slow-query log.
 	sampled bool
+	// traced marks a run that recorded executor spans; queryFinished
+	// assembles Root from them.
+	traced bool
+	// q is the executed query, kept so span assembly can walk its plan.
+	q *Query
 }
 
 // SlowQuery is one entry of the engine's slow-query ring.
@@ -37,6 +58,17 @@ type SlowQuery struct {
 	Total    time.Duration
 	Results  uint64
 	CacheHit bool
+	// Storage consumption deltas for this query, from the run's
+	// accounting limiter: together they answer whether the query was
+	// I/O-bound (pages), decode-bound (records), or riding the node
+	// cache (hits). Zero when the engine tracks no slow queries — the
+	// limiter is only force-armed when a slowLog is configured.
+	PagesRead      uint64
+	RecordsDecoded uint64
+	NodeCacheHits  uint64
+	// TraceID links the entry to its flight-recorder trace (Engine.
+	// Traces), zero when the query was not traced.
+	TraceID uint64
 	// Err is the run's terminal error, if any — a governance trip
 	// (canceled, deadline, budget) or an execution failure. A slow entry
 	// with a deadline error is the signature of a query killed by its
@@ -67,11 +99,11 @@ func (l *slowLog) record(sq SlowQuery) {
 	l.mu.Unlock()
 	if w != nil {
 		if sq.Err != nil {
-			fmt.Fprintf(w, "slow query: %s doc=%d total=%v results=%d cached=%v err=%q\n",
-				sq.Expr, sq.Doc, sq.Total, sq.Results, sq.CacheHit, sq.Err)
+			fmt.Fprintf(w, "slow query: %s doc=%d total=%v results=%d cached=%v pages=%d records=%d cachehits=%d err=%q\n",
+				sq.Expr, sq.Doc, sq.Total, sq.Results, sq.CacheHit, sq.PagesRead, sq.RecordsDecoded, sq.NodeCacheHits, sq.Err)
 		} else {
-			fmt.Fprintf(w, "slow query: %s doc=%d total=%v results=%d cached=%v\n",
-				sq.Expr, sq.Doc, sq.Total, sq.Results, sq.CacheHit)
+			fmt.Fprintf(w, "slow query: %s doc=%d total=%v results=%d cached=%v pages=%d records=%d cachehits=%d\n",
+				sq.Expr, sq.Doc, sq.Total, sq.Results, sq.CacheHit, sq.PagesRead, sq.RecordsDecoded, sq.NodeCacheHits)
 		}
 	}
 }

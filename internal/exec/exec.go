@@ -57,6 +57,16 @@ type Context struct {
 	// (and the XPath data model's node-set semantics) leave this
 	// implementation-defined, so ordering is opt-in.
 	Ordered bool
+	// Trace records a per-step span for this run: open/close timestamps
+	// (offsets from FinishStart), tuples in/scanned/out, and pages-read /
+	// records-decoded deltas, read back through Iterator.StepSpans. A
+	// traced run always arms an accounting limiter (even with a Background
+	// context and zero limits) so storage consumption is attributable.
+	Trace bool
+	// Account arms the limiter for per-query resource accounting without
+	// span recording — the slow-query log uses it so every entry can carry
+	// storage deltas. Implied by Trace.
+	Account bool
 	// OnFinish, when set, is invoked exactly once when the iterator
 	// finishes (exhaustion or error) — after the run's batched metrics
 	// are flushed. The serving layer uses it to close out per-query
@@ -151,6 +161,14 @@ func Run(p *plan.Plan, ctx Context) (*Iterator, error) {
 		finishObj:   ctx.FinishObj,
 	}
 	e := &it.env
+	if ctx.Trace {
+		e.traced = true
+		e.traceBase = ctx.FinishStart
+		if e.traceBase.IsZero() {
+			e.traceBase = time.Now()
+		}
+	}
+	account := ctx.Trace || ctx.Account
 	if n := countSteps(p.Root); n > 0 {
 		rs, _ := runPool.Get().(*runState)
 		if rs == nil {
@@ -166,11 +184,19 @@ func Run(p *plan.Plan, ctx Context) (*Iterator, error) {
 		it.rs = rs
 		e.arena = rs.arena[:0]
 		e.steps = rs.steps[:0]
-		e.lim = govern.Arm(&rs.lim, ctx.Ctx, ctx.Limits)
+		if account {
+			e.lim = govern.ArmAccounting(&rs.lim, ctx.Ctx, ctx.Limits)
+		} else {
+			e.lim = govern.Arm(&rs.lim, ctx.Ctx, ctx.Limits)
+		}
 	} else {
 		// Stepless plans have no pooled run state to embed the limiter
 		// in; fall back to govern's own pool.
-		e.lim = govern.New(ctx.Ctx, ctx.Limits)
+		if account {
+			e.lim = govern.NewAccounting(ctx.Ctx, ctx.Limits)
+		} else {
+			e.lim = govern.New(ctx.Ctx, ctx.Limits)
+		}
 	}
 	root, err := e.build(p.Root)
 	e.building = false
@@ -307,6 +333,18 @@ func (it *Iterator) finishRun() {
 		return
 	}
 	it.finished = true
+	if it.env.traced {
+		// Close any span still open (early termination, error, or an
+		// operator upstream of the failure) before the OnFinish hook reads
+		// the spans — the hook's end-to-end total is taken after this, so
+		// every span closes within the query's own interval.
+		now := it.env.nowNS()
+		for _, s := range it.env.steps {
+			if s.spanOpened && s.closeNS == 0 {
+				s.closeNS = now
+			}
+		}
+	}
 	if obs.Enabled() {
 		if it.err != nil {
 			switch {
@@ -422,7 +460,17 @@ type env struct {
 	// (including transient predicate subplans, which share this env);
 	// flushed to the global counters once, at run finish.
 	axisBinds [mass.AxisCount]uint64
+	// traced switches per-step span recording on for this run: step
+	// executors stamp open/close offsets against traceBase and accumulate
+	// pages-read / records-decoded deltas off the (always armed) limiter.
+	// The untraced hot path pays one branch per next call.
+	traced    bool
+	traceBase time.Time
 }
+
+// nowNS returns the current span-clock reading: nanoseconds since the
+// run's trace base.
+func (e *env) nowNS() int64 { return int64(time.Since(e.traceBase)) }
 
 // newStep carves a step executor out of the arena, or allocates one when
 // the arena is exhausted (transient subplans built during expression
@@ -491,6 +539,44 @@ func (it *Iterator) Stats() []OpStats {
 			in = s.nScanned
 		}
 		out = append(out, OpStats{Op: s.op, In: in, Scanned: s.nScanned, Out: s.nOut})
+	}
+	return out
+}
+
+// StepSpan is one step operator's recorded execution span, produced on
+// traced runs (Context.Trace). Offsets are nanoseconds on the run's trace
+// clock (Context.FinishStart). PagesRead and RecordsDecoded are inclusive
+// of child-operator work performed while this step was pulling.
+type StepSpan struct {
+	Op               *plan.Step
+	StartNS, EndNS   int64
+	In, Scanned, Out uint64
+	PagesRead        uint64
+	RecordsDecoded   uint64
+}
+
+// StepSpans returns the per-step spans of a traced run — meaningful once
+// the iterator has finished, and (like Stats) only before Close releases
+// the pooled run state. Nil for untraced runs.
+func (it *Iterator) StepSpans() []StepSpan {
+	if !it.env.traced {
+		return nil
+	}
+	out := make([]StepSpan, 0, len(it.env.steps))
+	for _, s := range it.env.steps {
+		if !s.spanOpened {
+			continue // never pulled (e.g. short-circuited union branch)
+		}
+		out = append(out, StepSpan{
+			Op:             s.op,
+			StartNS:        s.openNS,
+			EndNS:          s.closeNS,
+			In:             s.nIn,
+			Scanned:        s.nScanned,
+			Out:            s.nOut,
+			PagesRead:      s.spanPages,
+			RecordsDecoded: s.spanRecs,
+		})
 	}
 	return out
 }
@@ -621,6 +707,14 @@ type stepExec struct {
 	// tuples emitted.
 	nIn, nScanned, nOut uint64
 
+	// Span state, written only on traced runs (env.traced): open/close
+	// offsets on the run's trace clock and inclusive storage-consumption
+	// deltas (pages read, records decoded — including work done by child
+	// operators while this step's next was on the stack).
+	spanOpened          bool
+	openNS, closeNS     int64
+	spanPages, spanRecs uint64
+
 	state   State
 	leafCtx flex.Key
 	scan    *mass.Scan
@@ -651,6 +745,36 @@ func (s *stepExec) reset(ctx flex.Key) {
 }
 
 func (s *stepExec) next() (flex.Key, bool, error) {
+	if !s.env.traced {
+		return s.advance()
+	}
+	return s.tracedNext()
+}
+
+// tracedNext wraps advance with span recording: the first call stamps the
+// open offset, every call stamps the close offset on return (so the span
+// always ends at the operator's last activity — an operator whose
+// subplan is short-circuited, like an exists-predicate's, still nests
+// inside its parent), and every call accumulates the limiter's
+// pages-read / records-decoded movement while this step's frame was
+// live — inclusive of child operators, so span consumption nests the way
+// span time does.
+func (s *stepExec) tracedNext() (flex.Key, bool, error) {
+	if !s.spanOpened {
+		s.spanOpened = true
+		s.openNS = s.env.nowNS()
+	}
+	lim := s.env.lim
+	p0, r0 := lim.PagesRead(), lim.DecodedRecords()
+	k, ok, err := s.advance()
+	s.spanPages += lim.PagesRead() - p0
+	s.spanRecs += lim.DecodedRecords() - r0
+	s.closeNS = s.env.nowNS()
+	return k, ok, err
+}
+
+// advance is the untraced step pull loop (Algorithm 1/2).
+func (s *stepExec) advance() (flex.Key, bool, error) {
 	for s.state != OutOfTuples {
 		if s.scan == nil {
 			// INITIAL, or the previous context's scan is exhausted: bind

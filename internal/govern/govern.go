@@ -99,6 +99,7 @@ type Usage struct {
 	Results        uint64
 	PagesRead      uint64
 	DecodedRecords uint64
+	NodeCacheHits  uint64
 	Elapsed        time.Duration
 }
 
@@ -122,6 +123,10 @@ type Limiter struct {
 	limits      Limits
 
 	results, pagesRead, decodedRecords uint64
+	// nodeCacheHits counts index node loads served from cache — pure
+	// accounting (no budget trips on it); it exists so per-query trace and
+	// slow-query records can tell an I/O-bound query from a CPU-bound one.
+	nodeCacheHits uint64
 
 	tick uint64
 	err  error
@@ -164,6 +169,34 @@ func Arm(l *Limiter, ctx context.Context, limits Limits) *Limiter {
 	if !cancelable && !hasDeadline && limits.Unlimited() {
 		return nil
 	}
+	l.arm(ctx, limits, cancelable, deadline, hasDeadline)
+	return l
+}
+
+// ArmAccounting is Arm for runs that need per-query resource accounting
+// regardless of governance: it always arms l, even when ctx can never be
+// canceled and limits sets no budget. Traced and slow-tracked queries use
+// it so their span and slow-log records can report pages read, records
+// decoded and cache hits — the budgets simply never trip when unset.
+func ArmAccounting(l *Limiter, ctx context.Context, limits Limits) *Limiter {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancelable := ctx.Done() != nil
+	deadline, hasDeadline := ctx.Deadline()
+	l.arm(ctx, limits, cancelable, deadline, hasDeadline)
+	return l
+}
+
+// NewAccounting is New with the ArmAccounting guarantee: the returned
+// limiter is never nil. Pass it to Release when the run is over.
+func NewAccounting(ctx context.Context, limits Limits) *Limiter {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancelable := ctx.Done() != nil
+	deadline, hasDeadline := ctx.Deadline()
+	l := pool.Get().(*Limiter)
 	l.arm(ctx, limits, cancelable, deadline, hasDeadline)
 	return l
 }
@@ -334,6 +367,40 @@ func (l *Limiter) AddRecords(n uint64) error {
 	return nil
 }
 
+// AddCacheHits records n index node-cache hits — accounting only, no
+// budget ever trips on it. Inlined at the hottest node-load site, so the
+// body is one nil check and one add.
+func (l *Limiter) AddCacheHits(n uint64) {
+	if l != nil {
+		l.nodeCacheHits += n
+	}
+}
+
+// PagesRead returns the pager page reads charged so far (nil-safe).
+func (l *Limiter) PagesRead() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.pagesRead
+}
+
+// DecodedRecords returns the clustered records decoded so far (nil-safe).
+func (l *Limiter) DecodedRecords() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.decodedRecords
+}
+
+// NodeCacheHits returns the index node-cache hits recorded so far
+// (nil-safe).
+func (l *Limiter) NodeCacheHits() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.nodeCacheHits
+}
+
 // Usage snapshots the consumption so far. Elapsed is only tracked when a
 // Timeout budget is set (the clock exists to anchor it).
 func (l *Limiter) Usage() Usage {
@@ -344,6 +411,7 @@ func (l *Limiter) Usage() Usage {
 		Results:        l.results,
 		PagesRead:      l.pagesRead,
 		DecodedRecords: l.decodedRecords,
+		NodeCacheHits:  l.nodeCacheHits,
 	}
 	if !l.start.IsZero() {
 		u.Elapsed = time.Since(l.start)

@@ -476,6 +476,20 @@ func (s *Store) DocID(name string) (DocID, bool) {
 	return d, ok
 }
 
+// DocName resolves a document id back to its name, empty when unknown.
+// Documents are few (one catalog entry each), so a linear sweep beats
+// maintaining a reverse map; callers are trace/log paths, not hot ones.
+func (s *Store) DocName(d DocID) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for n, id := range s.docs {
+		if id == d {
+			return n
+		}
+	}
+	return ""
+}
+
 // Documents returns the loaded document names.
 func (s *Store) Documents() []string {
 	s.mu.Lock()

@@ -248,6 +248,9 @@ func Snapshot() map[string]uint64 {
 		s := h.Snapshot()
 		out[h.name+"_count"] = s.Count
 		out[h.name+"_sum_ns"] = s.SumNS
+		out[h.name+"_p50"] = uint64(s.Quantile(0.50))
+		out[h.name+"_p95"] = uint64(s.Quantile(0.95))
+		out[h.name+"_p99"] = uint64(s.Quantile(0.99))
 	}
 	return out
 }
@@ -289,6 +292,17 @@ func WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
 			h.name, s.Count, h.name, s.SumNS, h.name, s.Count); err != nil {
 			return err
+		}
+		// Precomputed quantile gauges (power-of-two upper bounds) so
+		// dashboards get tail latency without PromQL bucket math.
+		for _, q := range [...]struct {
+			suffix string
+			q      float64
+		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+			if _, err := fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %d\n",
+				h.name, q.suffix, h.name, q.suffix, uint64(s.Quantile(q.q))); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,79 @@
+package obs
+
+// Sliding-window counter rates. Lifetime totals are the wrong shape for
+// a dashboard — an operator wants "pages read per second, now", not
+// "pages read since the process started". RateWindow turns any
+// map-of-counters sampler into per-second rates over a bounded sliding
+// window by keeping a small ring of timestamped samples and diffing the
+// newest against the oldest still inside the window.
+
+import (
+	"sync"
+	"time"
+)
+
+// rateSample is one timestamped counter snapshot.
+type rateSample struct {
+	at     time.Time
+	values map[string]uint64
+}
+
+// RateWindow computes per-second rates of monotonically increasing
+// counters over a sliding time window. It samples lazily: each Rates
+// call takes a fresh sample, evicts samples older than the window, and
+// diffs against the oldest survivor — so an idle process does no
+// background work.
+type RateWindow struct {
+	mu      sync.Mutex
+	window  time.Duration
+	sample  func() map[string]uint64
+	now     func() time.Time // injectable for tests
+	samples []rateSample     // oldest first
+}
+
+// NewRateWindow creates a rate window over the given duration. sample
+// must return a snapshot of monotonically increasing counters keyed by
+// name (e.g. obs.Snapshot).
+func NewRateWindow(window time.Duration, sample func() map[string]uint64) *RateWindow {
+	if window <= 0 {
+		window = time.Minute
+	}
+	return &RateWindow{window: window, sample: sample, now: time.Now}
+}
+
+// Rates takes a fresh sample and returns the per-second rate of each
+// counter over the elapsed window, plus the actual span the rates cover
+// (shorter than the configured window until enough history
+// accumulates, zero on the very first call).
+func (r *RateWindow) Rates() (map[string]float64, time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	cur := rateSample{at: now, values: r.sample()}
+
+	// Evict samples that fell out of the window, but always keep at
+	// least one so the diff base never vanishes on an idle process.
+	cutoff := now.Add(-r.window)
+	i := 0
+	for i < len(r.samples)-1 && r.samples[i+1].at.Before(cutoff) {
+		i++
+	}
+	r.samples = append(r.samples[i:], cur)
+
+	oldest := r.samples[0]
+	elapsed := now.Sub(oldest.at)
+	rates := make(map[string]float64, len(cur.values))
+	if elapsed <= 0 {
+		return rates, 0
+	}
+	secs := elapsed.Seconds()
+	for k, v := range cur.values {
+		prev, ok := oldest.values[k]
+		if !ok || v < prev {
+			// New counter mid-window, or a reset: no meaningful rate.
+			continue
+		}
+		rates[k] = float64(v-prev) / secs
+	}
+	return rates, elapsed
+}

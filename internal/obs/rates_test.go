@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRateWindow drives a RateWindow with an injected clock and counter
+// source and checks windowed per-second rates, eviction, and counter-
+// reset handling.
+func TestRateWindow(t *testing.T) {
+	now := time.Unix(1000, 0)
+	vals := map[string]uint64{"a": 0, "b": 100}
+	rw := NewRateWindow(10*time.Second, func() map[string]uint64 {
+		out := make(map[string]uint64, len(vals))
+		for k, v := range vals {
+			out[k] = v
+		}
+		return out
+	})
+	rw.now = func() time.Time { return now }
+
+	// First sample: no history, no rates.
+	rates, window := rw.Rates()
+	if window != 0 || len(rates) != 0 {
+		t.Fatalf("first call: rates=%v window=%v, want empty/0", rates, window)
+	}
+
+	// 5s later, a grew by 50: 10/s over a 5s window.
+	now = now.Add(5 * time.Second)
+	vals["a"] = 50
+	rates, window = rw.Rates()
+	if window != 5*time.Second {
+		t.Fatalf("window %v, want 5s", window)
+	}
+	if rates["a"] != 10 {
+		t.Errorf("rate a=%v, want 10/s", rates["a"])
+	}
+	if rates["b"] != 0 {
+		t.Errorf("rate b=%v, want 0/s", rates["b"])
+	}
+
+	// 20s later the old samples fall out of the 10s window; the rate is
+	// computed against the newest surviving sample, not process start.
+	now = now.Add(20 * time.Second)
+	vals["a"] = 1050 // +1000 since the 5s-mark sample
+	rates, window = rw.Rates()
+	if window > 20*time.Second {
+		t.Errorf("window %v did not shrink after eviction", window)
+	}
+	if rates["a"] != 50 {
+		t.Errorf("rate a=%v, want 50/s (+1000 over 20s)", rates["a"])
+	}
+
+	// A counter that goes backwards (reset) yields no rate rather than a
+	// huge bogus one.
+	now = now.Add(5 * time.Second)
+	vals["a"] = 3
+	rates, _ = rw.Rates()
+	if _, ok := rates["a"]; ok {
+		t.Errorf("reset counter produced a rate: %v", rates["a"])
+	}
+}

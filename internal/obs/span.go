@@ -1,0 +1,256 @@
+package obs
+
+// Span trees and trace export. A Span is one operator's slice of a
+// query's execution: when it first produced work, when it exhausted,
+// how many tuples flowed through it, and how much storage it consumed.
+// The execution layer records the raw per-step numbers; the serving
+// layer assembles them into the tree mirroring the plan shape and hands
+// the result here for export — as an indented text tree for terminals,
+// or as Chrome trace-event JSON loadable in Perfetto/chrome://tracing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Span is one operator's recorded execution within a query. Timestamps
+// are nanosecond offsets from the owning trace's start, so spans are
+// self-contained and comparable across process restarts. Durations are
+// inclusive: a parent span covers the time and storage consumption of
+// the children nested under it, matching how trace viewers render
+// flame-style nesting.
+type Span struct {
+	// Name is the operator's display label (e.g. "child::person" or
+	// "pred").
+	Name string `json:"name"`
+	// Kind classifies the operator: "axis", "pred", "literal", "root".
+	Kind string `json:"kind"`
+	// StartNS/EndNS bound the span as offsets from the trace start.
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// In, Scanned, Out are the operator's actual tuple counts: context
+	// tuples consumed, index entries scanned, tuples produced.
+	In      uint64 `json:"in"`
+	Scanned uint64 `json:"scanned,omitempty"`
+	Out     uint64 `json:"out"`
+	// PagesRead and RecordsDecoded are the storage consumption charged
+	// while this operator (or a descendant) was advancing — inclusive,
+	// like the timestamps.
+	PagesRead      uint64 `json:"pages_read,omitempty"`
+	RecordsDecoded uint64 `json:"records_decoded,omitempty"`
+	// EstIn/EstOut are the optimizer's cardinality estimates for the
+	// operator, present when the executed plan was costed (Estimated).
+	// Comparing them against In/Out is the point of the whole exercise.
+	EstIn     uint64 `json:"est_in,omitempty"`
+	EstOut    uint64 `json:"est_out,omitempty"`
+	Estimated bool   `json:"estimated,omitempty"`
+	// Children are the spans nested under this one (context child first,
+	// then predicate subtrees), in plan order.
+	Children []*Span `json:"children,omitempty"`
+}
+
+// QueryTrace is one query's complete recorded execution: identity,
+// end-to-end timings, whole-query resource consumption, and the span
+// tree. It is the unit the flight recorder stores and the exporters
+// consume.
+type QueryTrace struct {
+	// ID is the engine-assigned trace sequence number, unique per engine
+	// lifetime.
+	ID uint64 `json:"id"`
+	// Expr and Doc identify the query.
+	Expr string `json:"expr"`
+	Doc  string `json:"doc"`
+	// Start is the wall-clock query start time.
+	Start time.Time `json:"start"`
+	// Compile and Total are the compile(+optimize) and end-to-end
+	// durations.
+	Compile time.Duration `json:"compile_ns"`
+	Total   time.Duration `json:"total_ns"`
+	// CacheHit reports whether the plan came from the plan cache.
+	CacheHit bool `json:"cache_hit"`
+	// Results is the number of result tuples delivered.
+	Results uint64 `json:"results"`
+	// Whole-query storage consumption.
+	PagesRead      uint64 `json:"pages_read"`
+	RecordsDecoded uint64 `json:"records_decoded"`
+	NodeCacheHits  uint64 `json:"node_cache_hits"`
+	// Err is the query's terminal error text, empty on success.
+	Err string `json:"err,omitempty"`
+	// Root is the span tree, nil when spans were not recorded (e.g. the
+	// query failed before execution).
+	Root *Span `json:"root,omitempty"`
+}
+
+// WriteTree writes the trace as an indented text tree, one line per
+// span: timings, actual tuple counts, estimated-vs-actual cardinality,
+// and storage consumption. This is what `vamana query -trace` prints.
+func (t *QueryTrace) WriteTree(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "trace %d %q doc=%s start=%s compile=%s total=%s results=%d pages=%d records=%d cachehits=%d",
+		t.ID, t.Expr, t.Doc, t.Start.Format(time.RFC3339Nano), t.Compile, t.Total,
+		t.Results, t.PagesRead, t.RecordsDecoded, t.NodeCacheHits); err != nil {
+		return err
+	}
+	if t.CacheHit {
+		if _, err := io.WriteString(w, " plan=cached"); err != nil {
+			return err
+		}
+	}
+	if t.Err != "" {
+		if _, err := fmt.Fprintf(w, " err=%q", t.Err); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	if t.Root == nil {
+		return nil
+	}
+	return writeSpanTree(w, t.Root, 0)
+}
+
+func writeSpanTree(w io.Writer, s *Span, depth int) error {
+	dur := time.Duration(s.EndNS - s.StartNS)
+	if _, err := fmt.Fprintf(w, "%s%s  %s  in=%d", strings.Repeat("  ", depth), s.Name, dur, s.In); err != nil {
+		return err
+	}
+	if s.Scanned > 0 {
+		if _, err := fmt.Fprintf(w, " scanned=%d", s.Scanned); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, " out=%d", s.Out); err != nil {
+		return err
+	}
+	if s.Estimated {
+		if _, err := fmt.Fprintf(w, " est_in=%d est_out=%d", s.EstIn, s.EstOut); err != nil {
+			return err
+		}
+	}
+	if s.PagesRead > 0 || s.RecordsDecoded > 0 {
+		if _, err := fmt.Fprintf(w, " pages=%d records=%d", s.PagesRead, s.RecordsDecoded); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for _, c := range s.Children {
+		if err := writeSpanTree(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete-event phase).
+// Field order here fixes the JSON key order, which keeps the output
+// deterministic for golden tests.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat"`
+	Ph   string      `json:"ph"`
+	TS   float64     `json:"ts"`  // microseconds
+	Dur  float64     `json:"dur"` // microseconds
+	PID  int         `json:"pid"`
+	TID  uint64      `json:"tid"`
+	Args interface{} `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	PID  int         `json:"pid"`
+	TID  uint64      `json:"tid"`
+	Args interface{} `json:"args"`
+}
+
+type chromeFile struct {
+	TraceEvents []interface{} `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// spanArgs is the per-event metadata payload shown in the trace
+// viewer's detail pane.
+type spanArgs struct {
+	Kind           string `json:"kind"`
+	In             uint64 `json:"in"`
+	Scanned        uint64 `json:"scanned,omitempty"`
+	Out            uint64 `json:"out"`
+	PagesRead      uint64 `json:"pages_read,omitempty"`
+	RecordsDecoded uint64 `json:"records_decoded,omitempty"`
+	EstIn          uint64 `json:"est_in,omitempty"`
+	EstOut         uint64 `json:"est_out,omitempty"`
+}
+
+// WriteChromeTrace writes the traces as a Chrome trace-event JSON
+// object (the {"traceEvents": [...]} form) loadable in Perfetto or
+// chrome://tracing. Each query becomes one "thread" (tid = trace ID)
+// under a shared process, with its spans as nested "X" complete events;
+// timestamps are microsecond offsets from the earliest trace's start so
+// concurrent queries line up on the shared timeline.
+func WriteChromeTrace(w io.Writer, traces []*QueryTrace) error {
+	var base time.Time
+	for _, t := range traces {
+		if base.IsZero() || t.Start.Before(base) {
+			base = t.Start
+		}
+	}
+	f := chromeFile{TraceEvents: []interface{}{}, DisplayUnit: "ns"}
+	for _, t := range traces {
+		offUS := float64(t.Start.Sub(base).Nanoseconds()) / 1e3
+		label := t.Expr
+		if t.Doc != "" {
+			label = t.Doc + ": " + t.Expr
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeMeta{
+			Name: "thread_name", Ph: "M", PID: 1, TID: t.ID,
+			Args: map[string]string{"name": fmt.Sprintf("query %d %s", t.ID, label)},
+		})
+		// The whole-query envelope event covers compile + execution.
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "query", Cat: "query", Ph: "X",
+			TS: offUS, Dur: float64(t.Total.Nanoseconds()) / 1e3,
+			PID: 1, TID: t.ID,
+			Args: map[string]interface{}{
+				"expr": t.Expr, "doc": t.Doc, "results": t.Results,
+				"cache_hit": t.CacheHit, "pages_read": t.PagesRead,
+				"records_decoded": t.RecordsDecoded, "node_cache_hits": t.NodeCacheHits,
+			},
+		})
+		if t.Compile > 0 {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "compile", Cat: "compile", Ph: "X",
+				TS: offUS, Dur: float64(t.Compile.Nanoseconds()) / 1e3,
+				PID: 1, TID: t.ID,
+			})
+		}
+		appendChromeSpans(&f.TraceEvents, t.Root, offUS, t.ID)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+func appendChromeSpans(events *[]interface{}, s *Span, offUS float64, tid uint64) {
+	if s == nil {
+		return
+	}
+	*events = append(*events, chromeEvent{
+		Name: s.Name, Cat: s.Kind, Ph: "X",
+		TS:  offUS + float64(s.StartNS)/1e3,
+		Dur: float64(s.EndNS-s.StartNS) / 1e3,
+		PID: 1, TID: tid,
+		Args: spanArgs{
+			Kind: s.Kind, In: s.In, Scanned: s.Scanned, Out: s.Out,
+			PagesRead: s.PagesRead, RecordsDecoded: s.RecordsDecoded,
+			EstIn: s.EstIn, EstOut: s.EstOut,
+		},
+	})
+	for _, c := range s.Children {
+		appendChromeSpans(events, c, offUS, tid)
+	}
+}

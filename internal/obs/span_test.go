@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedTraces is a synthetic pair of traces with every field pinned, so
+// the exporters' output is byte-stable for the golden test.
+func fixedTraces() []*QueryTrace {
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	return []*QueryTrace{
+		{
+			ID:             7,
+			Expr:           "//person/address",
+			Doc:            "auction",
+			Start:          base,
+			Compile:        120_000,
+			Total:          2_500_000,
+			CacheHit:       false,
+			Results:        15,
+			PagesRead:      3,
+			RecordsDecoded: 40,
+			NodeCacheHits:  12,
+			Root: &Span{
+				Name: "R1", Kind: "root", StartNS: 0, EndNS: 2_500_000,
+				Out: 15, EstIn: 25, EstOut: 25, Estimated: true,
+				Children: []*Span{{
+					Name: "φ2 child::address", Kind: "axis",
+					StartNS: 130_000, EndNS: 2_400_000,
+					In: 15, Scanned: 15, Out: 15,
+					PagesRead: 3, RecordsDecoded: 40,
+					EstIn: 25, EstOut: 25, Estimated: true,
+					Children: []*Span{{
+						Name: "φ3 descendant::person", Kind: "axis",
+						StartNS: 140_000, EndNS: 2_300_000,
+						In: 1, Scanned: 25, Out: 15,
+						EstIn: 1, EstOut: 25, Estimated: true,
+					}},
+				}},
+			},
+		},
+		{
+			ID:      8,
+			Expr:    "//bogus",
+			Doc:     "auction",
+			Start:   base.Add(time.Millisecond),
+			Compile: 80_000,
+			Total:   90_000,
+			Results: 0,
+			Err:     "vamana: canceled",
+		},
+	}
+}
+
+// TestChromeTraceGolden pins the Chrome trace-event JSON shape against
+// testdata/chrome_trace.golden. Regenerate with UPDATE_GOLDEN=1 after an
+// intentional format change.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixedTraces()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace output drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// Beyond byte equality: the file must be valid JSON in the
+	// traceEvents envelope with only M/X phase events.
+	var f struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			TS  float64 `json:"ts"`
+			Dur float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" && ev.Ph != "M" {
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("negative timestamp or duration: ts=%v dur=%v", ev.TS, ev.Dur)
+		}
+	}
+}
+
+// TestWriteTree checks the indented text rendering of a span tree.
+func TestWriteTree(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedTraces()[0].WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], `trace 7 "//person/address" doc=auction`) {
+		t.Errorf("bad header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "R1 ") {
+		t.Errorf("root line not at depth 0: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "  φ2 ") || !strings.HasPrefix(lines[3], "    φ3 ") {
+		t.Errorf("children not indented by depth:\n%s", out)
+	}
+	for _, want := range []string{"in=15", "scanned=15", "out=15", "est_in=25", "est_out=25", "pages=3", "records=40"} {
+		if !strings.Contains(lines[2], want) {
+			t.Errorf("step line missing %q: %s", want, lines[2])
+		}
+	}
+	// A failed trace renders its error on the header line.
+	buf.Reset()
+	if err := fixedTraces()[1].WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `err="vamana: canceled"`) {
+		t.Errorf("error trace missing err field: %s", buf.String())
+	}
+}

@@ -60,4 +60,9 @@ echo "== checksum overhead gate (verified vs raw page reads, 3% budget)"
 # queries keep reading through the pager — see TestChecksumOverheadGate.
 VAMANA_CHECKSUM_GATE=1 go test -run '^TestChecksumOverheadGate$' -v -count 1 .
 
+echo "== trace overhead gate (unsampled tracing vs untraced serving, 1% budget)"
+# Allocation pin plus interleaved best-of-rounds timing — see
+# TestTraceOverheadGate.
+VAMANA_TRACE_GATE=1 go test -run '^TestTraceOverheadGate$' -v -count 1 .
+
 echo "OK"

@@ -1,0 +1,121 @@
+package vamana
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"vamana/internal/xmark"
+)
+
+// TestTraceOverheadGate asserts that the tracing layer's presence costs
+// the unsampled warm serving path at most 1%. The "PR-2 baseline" — the
+// engine before span recording existed — cannot be rebuilt inside one
+// test process, so the gate measures its in-process equivalent: a
+// database opened with tracing configured but sampling never firing
+// (TraceEvery far beyond the run count, no flight recorder) against a
+// database with no tracing configured at all. The unsampled path is the
+// baseline path plus the per-run trace branches, so their ratio bounds
+// exactly the cost this gate exists to cap. An allocation pin then
+// checks the stronger claim directly: the unsampled warm cache-hit
+// query allocates no more than the untraced one.
+//
+// Methodology matches the governance gate: single-goroutine loops,
+// interleaved rounds, best-of-rounds ratio (minimum over rounds
+// converges to true cost on noisy shared hardware), several attempts so
+// only a persistent regression fails. Skipped unless VAMANA_TRACE_GATE
+// is set — scripts/check.sh runs it.
+func TestTraceOverheadGate(t *testing.T) {
+	if os.Getenv("VAMANA_TRACE_GATE") == "" {
+		t.Skip("set VAMANA_TRACE_GATE=1 to run the trace-overhead gate")
+	}
+	src := xmark.GenerateString(xmark.Config{Factor: xmark.FactorForBytes(32 << 10), Seed: 51})
+	open := func(opts Options) (*DB, *Document) {
+		db, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		doc, err := db.LoadXMLString("auction", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, expr := range workloadExprs {
+			drainCount(t, db, doc, expr)
+		}
+		return db, doc
+	}
+	baseDB, baseDoc := open(Options{})
+	// Sampling configured but unreachable: the hot path takes the
+	// trace-aware branches every query yet never records a span.
+	unsampledDB, unsampledDoc := open(Options{TraceEvery: 1 << 30})
+
+	loop := func(db *DB, doc *Document) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				expr := workloadExprs[i%len(workloadExprs)]
+				res, err := db.Query(doc, expr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for res.Next() {
+				}
+				if err := res.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	measure := func(db *DB, doc *Document) float64 {
+		return float64(testing.Benchmark(loop(db, doc)).NsPerOp())
+	}
+
+	// Allocation pin: the unsampled warm cache-hit query must cost no
+	// allocations beyond the untraced one — the gate's real claim, and
+	// immune to wall-clock noise.
+	const expr = "//person/address"
+	baseAllocs := testing.AllocsPerRun(50, func() {
+		res, _ := baseDB.Query(baseDoc, expr)
+		for res.Next() {
+		}
+	})
+	unsampledAllocs := testing.AllocsPerRun(50, func() {
+		res, _ := unsampledDB.Query(unsampledDoc, expr)
+		for res.Next() {
+		}
+	})
+	t.Logf("warm cache-hit allocs/query: untraced %.1f, unsampled %.1f", baseAllocs, unsampledAllocs)
+	if unsampledAllocs > baseAllocs {
+		t.Errorf("unsampled serving allocates more than untraced: %.1f > %.1f allocs/query",
+			unsampledAllocs, baseAllocs)
+	}
+
+	measure(unsampledDB, unsampledDoc) // warm-up round, discarded
+	const (
+		rounds   = 7
+		attempts = 3
+		budget   = 1.01
+	)
+	var ratio float64
+	for attempt := 1; attempt <= attempts; attempt++ {
+		offBest, onBest := math.MaxFloat64, math.MaxFloat64
+		var offs, ons []float64
+		for i := 0; i < rounds; i++ {
+			var off, on float64
+			if i%2 == 0 {
+				off, on = measure(baseDB, baseDoc), measure(unsampledDB, unsampledDoc)
+			} else {
+				on, off = measure(unsampledDB, unsampledDoc), measure(baseDB, baseDoc)
+			}
+			offs, ons = append(offs, off), append(ons, on)
+			offBest, onBest = min(offBest, off), min(onBest, on)
+		}
+		ratio = onBest / offBest
+		t.Logf("attempt %d: warm serving ns/op untraced %v (best %.0f), unsampled-traced %v (best %.0f), best-of-rounds ratio %.3f",
+			attempt, offs, offBest, ons, onBest, ratio)
+		if ratio <= budget {
+			return
+		}
+	}
+	t.Errorf("disabled-tracing overhead %.1f%% exceeds the 1%% budget on all %d attempts", 100*(ratio-1), attempts)
+}

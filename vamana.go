@@ -45,6 +45,7 @@ import (
 	"vamana/internal/exec"
 	"vamana/internal/flex"
 	"vamana/internal/mass"
+	"vamana/internal/obs"
 	"vamana/internal/xmldoc"
 )
 
@@ -92,6 +93,13 @@ type Options struct {
 	TraceEvery int
 	// TraceSink receives each sampled trace after its query finishes.
 	TraceSink func(*TraceContext)
+	// FlightRecorderSize keeps the last N complete query traces — span
+	// trees included — in a bounded ring readable via DB.RecentTraces
+	// and the /debug/vamana/traces endpoint. With the recorder on, every
+	// query records spans (not just the 1-in-TraceEvery samples), so a
+	// query that turns out slow or budget-tripped is already captured
+	// retroactively. 0 disables the recorder.
+	FlightRecorderSize int
 	// DefaultLimits is the resource-budget set applied to every query run
 	// on this database. Per-query options (WithTimeout, WithMaxResults, …)
 	// override it field by field; WithLimits replaces it. The zero value
@@ -100,8 +108,22 @@ type Options struct {
 }
 
 // TraceContext is a sampled per-query execution trace: compile-vs-serve
-// split, cache-hit status, end-to-end latency, and result count.
+// split, cache-hit status, end-to-end latency, result count, storage
+// consumption, and (when spans were recorded) the operator span tree.
 type TraceContext = core.TraceContext
+
+// QueryTrace is one complete recorded query trace in export form — what
+// the flight recorder stores and the Chrome/text exporters consume.
+type QueryTrace = obs.QueryTrace
+
+// Span is one operator's recorded execution within a query trace.
+type Span = obs.Span
+
+// WriteChromeTrace writes traces as Chrome trace-event JSON, loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, traces []*QueryTrace) error {
+	return obs.WriteChromeTrace(w, traces)
+}
 
 // SlowQuery is one recorded slow query (see Options.SlowQueryThreshold).
 type SlowQuery = core.SlowQuery
@@ -130,6 +152,7 @@ func Open(opts Options) (*DB, error) {
 		SlowQueryLog:          opts.SlowQueryLog,
 		TraceEvery:            opts.TraceEvery,
 		TraceSink:             opts.TraceSink,
+		FlightRecorderSize:    opts.FlightRecorderSize,
 	})
 	if err != nil {
 		return nil, err
@@ -298,6 +321,11 @@ func (db *DB) StorageMetrics() StorageMetrics { return db.engine.Store().Metrics
 // SlowQueries returns the recorded slow queries, most recent first.
 // Empty unless Options.SlowQueryThreshold was set.
 func (db *DB) SlowQueries() []SlowQuery { return db.engine.SlowQueries() }
+
+// RecentTraces returns the flight recorder's contents — the last N
+// complete query traces with span trees, most recent first. Empty unless
+// Options.FlightRecorderSize was set.
+func (db *DB) RecentTraces() []*QueryTrace { return db.engine.Traces() }
 
 // WriteMetrics writes the full metric exposition in Prometheus text
 // format: the process-global execution and serving metrics followed by
