@@ -6,14 +6,19 @@
 //	vbench -sizes 1,5,10,20,30 -faithful    # the paper's sweep with
 //	                                        # published capacity limits
 //	vbench -queries Q1,Q5 -engines VQP,VQP-OPT -repeat 5
+//	vbench -batch 1 -out scripts/out/vbench_tuple.txt
+//	                                        # tuple-at-a-time executor,
+//	                                        # report under scripts/out/
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -22,6 +27,7 @@ import (
 
 	"vamana/internal/bench"
 	"vamana/internal/core"
+	"vamana/internal/exec"
 	"vamana/internal/mass"
 	"vamana/internal/obs"
 )
@@ -36,7 +42,9 @@ func main() {
 		faithful    = flag.Bool("faithful", false, "apply the paper's published per-engine capacity limits")
 		overhead    = flag.Bool("overhead", true, "also report optimization overhead per query")
 		mem         = flag.Bool("mem", false, "also report per-engine memory footprints")
-		jsonOut     = flag.Bool("json", false, "emit the benchmark table as JSON (with cache hit-ratio columns)")
+		batch       = flag.Int("batch", 0, "executor pull-batch size for the VAMANA engines (0 = engine default; 1 = tuple-at-a-time)")
+		jsonOut     = flag.Bool("json", false, "emit the benchmark table as JSON (with cache hit-ratio and batch-size columns)")
+		outPath     = flag.String("out", "", "write the report to this file instead of stdout (keep generated runs under scripts/out/, which is gitignored)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		metricsAddr = flag.String("metrics-addr", "", "serve the global metrics endpoint on this address")
@@ -92,15 +100,32 @@ func main() {
 		fatal(err)
 	}
 
+	// Reports go to stdout by default; -out redirects them to a file so
+	// generated runs live under scripts/out/ instead of the repo root.
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		if dir := filepath.Dir(*outPath); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
 	if !*jsonOut {
-		fmt.Printf("VAMANA evaluation harness — XMark seed %d, %d repetition(s), faithful limits: %v\n\n",
-			*seed, *repeat, *faithful)
+		fmt.Fprintf(out, "VAMANA evaluation harness — XMark seed %d, %d repetition(s), faithful limits: %v, exec batch: %d\n\n",
+			*seed, *repeat, *faithful, effectiveBatch(*batch))
 	}
 
 	var fixtures []*bench.Fixture
 	for _, mb := range sizes {
 		fmt.Fprintf(os.Stderr, "generating and indexing %d MB fixture...\n", mb)
-		f, err := bench.NewFixture(mb<<20, *seed, *faithful)
+		f, err := bench.NewFixtureExecBatch(mb<<20, *seed, *faithful, *batch)
 		if err != nil {
 			fatal(err)
 		}
@@ -110,7 +135,7 @@ func main() {
 	fmt.Fprintln(os.Stderr)
 
 	if *jsonOut {
-		if err := emitJSON(os.Stdout, fixtures, queries, engines, *repeat, *seed, *faithful); err != nil {
+		if err := emitJSON(out, fixtures, queries, engines, *repeat, *seed, *faithful, effectiveBatch(*batch)); err != nil {
 			fatal(err)
 		}
 		return
@@ -118,20 +143,20 @@ func main() {
 
 	for _, q := range queries {
 		results := bestOf(fixtures, q, engines, *repeat)
-		fmt.Println(bench.FormatFigure(q, results, engines))
+		fmt.Fprintln(out, bench.FormatFigure(q, results, engines))
 	}
 
 	if *overhead {
-		printOverhead(fixtures, queries)
+		printOverhead(out, fixtures, queries)
 	}
 	if *mem {
-		fmt.Println()
+		fmt.Fprintln(out)
 		for _, f := range fixtures {
 			var results []bench.MemoryResult
 			for _, e := range []bench.Engine{bench.EngineJaxen, bench.EngineGalax, bench.EngineEXist, bench.EngineVQP} {
 				results = append(results, bench.MeasureEngineMemory(f.Source(), e))
 			}
-			fmt.Println(bench.FormatMemoryTable(results))
+			fmt.Fprintln(out, bench.FormatMemoryTable(results))
 		}
 	}
 
@@ -198,15 +223,18 @@ func bestOf(fixtures []*bench.Fixture, q bench.Query, engines []bench.Engine, re
 	return out
 }
 
-// jsonRow is one benchmark point in -json output. The hit-ratio columns
-// are present only for the VAMANA engines (VQP, VQP-OPT): the page-cache
-// ratio covers index-node loads during the point's runs, and the memo
-// ratio covers the optimizer's statistics probes (VQP-OPT only).
+// jsonRow is one benchmark point in -json output. The hit-ratio and
+// batch-size columns are present only for the VAMANA engines (VQP,
+// VQP-OPT): the page-cache ratio covers index-node loads during the
+// point's runs, the memo ratio covers the optimizer's statistics probes
+// (VQP-OPT only), and batch_size is the executor pull-batch size the
+// point ran with.
 type jsonRow struct {
 	Query             string   `json:"query"`
 	XPath             string   `json:"xpath"`
 	Engine            string   `json:"engine"`
 	SizeMB            int      `json:"size_mb"`
+	BatchSize         int      `json:"batch_size,omitempty"`
 	Count             int      `json:"count"`
 	DurationNS        int64    `json:"duration_ns"`
 	OptTimeNS         int64    `json:"opt_time_ns,omitempty"`
@@ -216,21 +244,35 @@ type jsonRow struct {
 }
 
 type jsonReport struct {
-	Seed     int64     `json:"seed"`
-	Repeat   int       `json:"repeat"`
-	Faithful bool      `json:"faithful"`
-	Results  []jsonRow `json:"results"`
+	Seed      int64     `json:"seed"`
+	Repeat    int       `json:"repeat"`
+	Faithful  bool      `json:"faithful"`
+	BatchSize int       `json:"batch_size"`
+	Results   []jsonRow `json:"results"`
+}
+
+// effectiveBatch mirrors the executor's clamping of the configured batch
+// size so reports record the size actually used.
+func effectiveBatch(b int) int {
+	switch {
+	case b <= 0:
+		return exec.DefaultBatch
+	case b > exec.MaxBatch:
+		return exec.MaxBatch
+	default:
+		return b
+	}
 }
 
 // emitJSON runs the sweep and writes it as one JSON document, capturing
 // storage and plan-cache counter deltas around each point to derive the
 // hit-ratio columns.
-func emitJSON(w *os.File, fixtures []*bench.Fixture, queries []bench.Query, engines []bench.Engine, repeat int, seed int64, faithful bool) error {
-	rep := jsonReport{Seed: seed, Repeat: repeat, Faithful: faithful, Results: []jsonRow{}}
+func emitJSON(w io.Writer, fixtures []*bench.Fixture, queries []bench.Query, engines []bench.Engine, repeat int, seed int64, faithful bool, batch int) error {
+	rep := jsonReport{Seed: seed, Repeat: repeat, Faithful: faithful, BatchSize: batch, Results: []jsonRow{}}
 	for _, q := range queries {
 		for _, f := range fixtures {
 			for _, e := range engines {
-				rep.Results = append(rep.Results, runPointJSON(f, e, q, repeat))
+				rep.Results = append(rep.Results, runPointJSON(f, e, q, repeat, batch))
 			}
 		}
 	}
@@ -239,7 +281,7 @@ func emitJSON(w *os.File, fixtures []*bench.Fixture, queries []bench.Query, engi
 	return enc.Encode(rep)
 }
 
-func runPointJSON(f *bench.Fixture, e bench.Engine, q bench.Query, repeat int) jsonRow {
+func runPointJSON(f *bench.Fixture, e bench.Engine, q bench.Query, repeat, batch int) jsonRow {
 	eng, _ := f.VamanaEngine()
 	vamanaEngine := e == bench.EngineVQP || e == bench.EngineVQPOpt
 	var sm0 mass.StoreMetrics
@@ -263,6 +305,9 @@ func runPointJSON(f *bench.Fixture, e bench.Engine, q bench.Query, repeat int) j
 		Count:      best.Count,
 		DurationNS: best.Duration.Nanoseconds(),
 		OptTimeNS:  best.OptTime.Nanoseconds(),
+	}
+	if vamanaEngine {
+		row.BatchSize = batch
 	}
 	if best.Err != nil {
 		row.Error = best.Err.Error()
@@ -290,11 +335,11 @@ func hitRatio(hits, misses uint64) *float64 {
 	return &r
 }
 
-func printOverhead(fixtures []*bench.Fixture, queries []bench.Query) {
-	fmt.Println("Optimization overhead (compile + statistics probes + rewriting) vs. optimized execution.")
-	fmt.Println("'cached' is the same compilation served from the engine's plan cache (the DB.Query fast")
-	fmt.Println("path); its ratio is what a serving workload actually pays per repeated query.")
-	fmt.Printf("%-10s%-6s%14s%14s%14s%10s%14s\n", "size", "query", "optimize", "cached", "execute", "ratio", "cached-ratio")
+func printOverhead(out io.Writer, fixtures []*bench.Fixture, queries []bench.Query) {
+	fmt.Fprintln(out, "Optimization overhead (compile + statistics probes + rewriting) vs. optimized execution.")
+	fmt.Fprintln(out, "'cached' is the same compilation served from the engine's plan cache (the DB.Query fast")
+	fmt.Fprintln(out, "path); its ratio is what a serving workload actually pays per repeated query.")
+	fmt.Fprintf(out, "%-10s%-6s%14s%14s%14s%10s%14s\n", "size", "query", "optimize", "cached", "execute", "ratio", "cached-ratio")
 	for _, f := range fixtures {
 		eng, doc := f.VamanaEngine()
 		for _, q := range queries {
@@ -308,7 +353,7 @@ func printOverhead(fixtures []*bench.Fixture, queries []bench.Query) {
 			}
 			ratio := float64(r.OptTime) / float64(r.Duration)
 			cachedRatio := float64(cached) / float64(r.Duration)
-			fmt.Printf("%-10s%-6s%14s%14s%14s%9.2f%%%13.2f%%\n",
+			fmt.Fprintf(out, "%-10s%-6s%14s%14s%14s%9.2f%%%13.2f%%\n",
 				fmt.Sprintf("%dMB", f.SizeBytes>>20), q.ID,
 				r.OptTime.Round(time.Microsecond), cached.Round(time.Nanosecond),
 				r.Duration.Round(time.Microsecond), 100*ratio, 100*cachedRatio)

@@ -170,9 +170,21 @@ func (g *diffGen) genPredicate() string {
 	}
 }
 
+// diffBatchSizes are the executor pull-batch sizes every pair runs at:
+// tuple-at-a-time (the pre-batching executor, byte-for-byte the reference
+// stream), the smallest true batch (exercises batch-edge refills on
+// almost every pull), and the two production sizes. Duplicates or drops
+// at batch boundaries, and ordered-merge mistakes in union plans, show up
+// as a disagreement between sizes.
+var diffBatchSizes = []int{1, 2, 64, 256}
+
 // runDifferential executes pairs (document, query) derived from seed and
-// fails on any three-way disagreement, printing everything needed to
-// reproduce: the pair's seed, the document, and the expression.
+// fails on any disagreement, printing everything needed to reproduce: the
+// pair's seed, the document, and the expression. Each pair runs three
+// ways (VQP, VQP-OPT, DOM oracle) at every batch size in diffBatchSizes;
+// the ordered result-key lists must match the oracle at every size, and
+// the unordered (pipelined) streams must be element-wise identical across
+// sizes.
 func runDifferential(t *testing.T, seed int64, docs, queriesPerDoc int) {
 	t.Helper()
 	pairs := 0
@@ -181,13 +193,17 @@ func runDifferential(t *testing.T, seed int64, docs, queriesPerDoc int) {
 		g := &diffGen{r: rand.New(rand.NewSource(docSeed))}
 		src := g.genDoc()
 
-		db, err := Open(Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		doc, err := db.LoadXMLString("doc", src)
-		if err != nil {
-			t.Fatalf("doc seed %d: load: %v\n%s", docSeed, err, src)
+		dbs := make([]*DB, len(diffBatchSizes))
+		diffDocs := make([]*Document, len(diffBatchSizes))
+		for i, b := range diffBatchSizes {
+			db, err := Open(Options{ExecBatchSize: b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dbs[i] = db
+			if diffDocs[i], err = db.LoadXMLString("doc", src); err != nil {
+				t.Fatalf("doc seed %d: load: %v\n%s", docSeed, err, src)
+			}
 		}
 		oracleDoc, err := dom.Parse(strings.NewReader(src))
 		if err != nil {
@@ -211,38 +227,70 @@ func runDifferential(t *testing.T, seed int64, docs, queriesPerDoc int) {
 
 			for _, eng := range []struct {
 				name    string
-				compile func() (*Query, error)
+				compile func(db *DB, doc *Document) (*Query, error)
 			}{
-				{"VQP", func() (*Query, error) { return db.Compile(expr) }},
-				{"VQP-OPT", func() (*Query, error) { return db.CompileOptimized(doc, expr) }},
+				{"VQP", func(db *DB, _ *Document) (*Query, error) { return db.Compile(expr) }},
+				{"VQP-OPT", func(db *DB, doc *Document) (*Query, error) { return db.CompileOptimized(doc, expr) }},
 			} {
-				q, err := eng.compile()
-				if err != nil {
-					fail("%s compile error: %v", eng.name, err)
-				}
-				res, err := q.ExecuteOrdered(doc)
-				if err != nil {
-					fail("%s execute error: %v", eng.name, err)
-				}
-				got, err := res.Keys()
-				if err != nil {
-					fail("%s stream error: %v", eng.name, err)
-				}
-				if len(got) != len(want) {
-					fail("%s returned %d nodes, oracle %d\n got: %v\nwant: %v",
-						eng.name, len(got), len(want), got, want)
-				}
-				for i := range got {
-					if string(want[i]) != got[i] {
-						fail("%s result %d is %s, oracle has %s\n got: %v\nwant: %v",
-							eng.name, i, got[i], want[i], got, want)
+				// refStream is the batch-1 pipelined (unordered) key
+				// stream; every other batch size must reproduce it
+				// element for element.
+				var refStream []string
+				for i, b := range diffBatchSizes {
+					q, err := eng.compile(dbs[i], diffDocs[i])
+					if err != nil {
+						fail("%s compile error: %v", eng.name, err)
+					}
+					res, err := q.ExecuteOrdered(diffDocs[i])
+					if err != nil {
+						fail("%s[batch=%d] execute error: %v", eng.name, b, err)
+					}
+					got, err := res.Keys()
+					if err != nil {
+						fail("%s[batch=%d] stream error: %v", eng.name, b, err)
+					}
+					if len(got) != len(want) {
+						fail("%s[batch=%d] returned %d nodes, oracle %d\n got: %v\nwant: %v",
+							eng.name, b, len(got), len(want), got, want)
+					}
+					for i := range got {
+						if string(want[i]) != got[i] {
+							fail("%s[batch=%d] result %d is %s, oracle has %s\n got: %v\nwant: %v",
+								eng.name, b, i, got[i], want[i], got, want)
+						}
+					}
+
+					pres, err := q.Execute(diffDocs[i])
+					if err != nil {
+						fail("%s[batch=%d] pipelined execute error: %v", eng.name, b, err)
+					}
+					stream, err := pres.Keys()
+					if err != nil {
+						fail("%s[batch=%d] pipelined stream error: %v", eng.name, b, err)
+					}
+					if i == 0 {
+						refStream = stream
+						continue
+					}
+					if len(stream) != len(refStream) {
+						fail("%s[batch=%d] pipelined stream has %d keys, batch=%d has %d\n got: %v\nwant: %v",
+							eng.name, b, len(stream), diffBatchSizes[0], len(refStream), stream, refStream)
+					}
+					for j := range stream {
+						if stream[j] != refStream[j] {
+							fail("%s[batch=%d] pipelined key %d is %s, batch=%d has %s\n got: %v\nwant: %v",
+								eng.name, b, j, stream[j], diffBatchSizes[0], refStream[j], stream, refStream)
+						}
 					}
 				}
 			}
 		}
-		db.Close()
+		for _, db := range dbs {
+			db.Close()
+		}
 	}
-	t.Logf("differential: %d (document, query) pairs, zero disagreements", pairs)
+	t.Logf("differential: %d (document, query) pairs × %d batch sizes, zero disagreements",
+		pairs, len(diffBatchSizes))
 }
 
 // TestDifferentialRandom is the short deterministic sweep run by plain

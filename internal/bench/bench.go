@@ -98,10 +98,17 @@ type Fixture struct {
 // NewFixture generates an XMark document of roughly target bytes and
 // indexes it in VAMANA. Baseline engines are built lazily on first use.
 func NewFixture(target int, seed int64, faithful bool) (*Fixture, error) {
+	return NewFixtureExecBatch(target, seed, faithful, 0)
+}
+
+// NewFixtureExecBatch is NewFixture with an explicit executor pull-batch
+// size for the VAMANA engine (0 = default) — the vbench -batch flag and
+// the batch-size sweep use it.
+func NewFixtureExecBatch(target int, seed int64, faithful bool, execBatch int) (*Fixture, error) {
 	f := &Fixture{SizeBytes: target, Seed: seed, Faithful: faithful}
 	f.src = xmark.GenerateString(xmark.Config{Factor: xmark.FactorForBytes(target), Seed: seed})
 	var err error
-	f.engine, err = core.Open(core.Options{})
+	f.engine, err = core.Open(core.Options{ExecBatch: execBatch})
 	if err != nil {
 		return nil, err
 	}

@@ -196,6 +196,72 @@ func (c *Cursor) ValueView() ([]byte, error) {
 	return lv.inline, nil
 }
 
+// ScanBatch bulk-advances the cursor: starting at the current entry it
+// visits consecutive entries in key order while key < hi (nil hi means
+// unbounded), calling visit for each, until visit returns false or the
+// range is exhausted. Entries within one leaf are visited in a tight
+// loop; page access (and governance page charging, via the cursor's
+// limiter) happens only when crossing to the next leaf — this is the
+// bulk-advance API batched execution pulls through, replacing one
+// Next/Key/ValueView re-entry per entry. v is nil unless needValue
+// (inline values are passed as tree-owned views; overflow chains are
+// materialized). Key and value slices are valid only for the duration of
+// the visit call.
+//
+// After every visit the cursor has logically advanced past that entry: a
+// subsequent ScanBatch continues with the following entry. Do not mix
+// ScanBatch with the entry-at-a-time methods (Next/Key/ValueView) on one
+// scan — their positioning protocols differ (they rest ON the last
+// entry; ScanBatch rests after it). The return value reports whether
+// entries may remain: false once the range is exhausted or the cursor
+// failed (check Err).
+func (c *Cursor) ScanBatch(hi []byte, needValue bool, visit func(k, v []byte) bool) bool {
+	if !c.valid {
+		return false
+	}
+	for {
+		leaf := c.leaf
+		keys := leaf.keys
+		// One range check per leaf: when the leaf's last key is already
+		// below hi, every entry in it is in range and the per-entry
+		// compare is skipped for the whole leaf.
+		wholeLeaf := hi == nil || (len(keys) > 0 && bytes.Compare(keys[len(keys)-1], hi) < 0)
+		for c.idx < len(keys) {
+			k := keys[c.idx]
+			if !wholeLeaf && bytes.Compare(k, hi) >= 0 {
+				return false
+			}
+			var v []byte
+			if needValue {
+				lv := leaf.vals[c.idx]
+				if lv.isOverflow() {
+					var err error
+					if v, err = c.t.readValue(lv); err != nil {
+						c.err, c.valid = err, false
+						return false
+					}
+				} else {
+					v = lv.inline
+				}
+			}
+			c.idx++
+			if !visit(k, v) {
+				return true
+			}
+		}
+		if leaf.next == pager.InvalidPage {
+			c.valid = false
+			return false
+		}
+		n, err := c.load(leaf.next)
+		if err != nil {
+			c.err, c.valid = err, false
+			return false
+		}
+		c.leaf, c.idx = n, 0
+	}
+}
+
 // InRange reports whether the cursor is valid and its key is < hi (hi nil
 // means unbounded). A convenience for half-open range scans.
 func (c *Cursor) InRange(hi []byte) bool {

@@ -62,6 +62,11 @@ type Options struct {
 	// captured. N>0 records spans for every query (independent of
 	// TraceEvery sampling); 0 disables the recorder.
 	FlightRecorderSize int
+	// ExecBatch sets the executor's pull-batch size for every query this
+	// engine runs (see exec.Context.Batch). 0 selects exec.DefaultBatch;
+	// 1 degenerates to tuple-at-a-time execution. Exposed mainly for the
+	// vbench batch sweep and the differential harness.
+	ExecBatch int
 }
 
 // Engine is a VAMANA instance: one MASS store plus the query pipeline.
@@ -87,6 +92,8 @@ type Engine struct {
 	flight *flightRecorder
 	// traceSeq mints TraceContext IDs.
 	traceSeq atomic.Uint64
+	// execBatch is Options.ExecBatch, stamped on every run's exec.Context.
+	execBatch int
 }
 
 // Open creates or reopens an engine.
@@ -100,7 +107,7 @@ func Open(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{store: s, probes: cost.NewMemoProbes(s)}
+	e := &Engine{store: s, probes: cost.NewMemoProbes(s), execBatch: opts.ExecBatch}
 	if opts.PlanCacheSize >= 0 {
 		e.plans = newPlanCache(opts.PlanCacheSize)
 	}
@@ -289,6 +296,7 @@ func (e *Engine) QueryContext(cctx context.Context, doc mass.DocID, expr string,
 		OnFinish:    e.finishFn,
 		FinishStart: start,
 		FinishObj:   q,
+		Batch:       e.execBatch,
 	}
 	// A traced query records per-operator spans: 1-in-TraceEvery samples,
 	// or every query when the flight recorder is on (so slow/budget-
@@ -537,7 +545,7 @@ func (q *Query) ExecuteContext(ctx context.Context, doc mass.DocID, limits gover
 	if err := govern.CheckContext(ctx); err != nil {
 		return nil, err
 	}
-	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Ctx: ctx, Limits: limits})
+	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Ctx: ctx, Limits: limits, Batch: q.engine.execBatch})
 }
 
 // ExecuteOrdered runs the query and delivers the result set in document
@@ -551,7 +559,7 @@ func (q *Query) ExecuteOrderedContext(ctx context.Context, doc mass.DocID, limit
 	if err := govern.CheckContext(ctx); err != nil {
 		return nil, err
 	}
-	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Ordered: true, Ctx: ctx, Limits: limits})
+	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Ordered: true, Ctx: ctx, Limits: limits, Batch: q.engine.execBatch})
 }
 
 // ExecuteFrom runs the query with an explicit initial context node — the
@@ -566,5 +574,5 @@ func (q *Query) ExecuteFromContext(ctx context.Context, doc mass.DocID, start fl
 	if err := govern.CheckContext(ctx); err != nil {
 		return nil, err
 	}
-	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Start: start, Vars: vars, Ctx: ctx, Limits: limits})
+	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Start: start, Vars: vars, Ctx: ctx, Limits: limits, Batch: q.engine.execBatch})
 }

@@ -76,17 +76,20 @@ func (e *env) evalPath(lp *xpath.LocationPath, ctx flex.Key) ([]flex.Key, error)
 	sub.reset(start)
 	seen := map[flex.Key]struct{}{}
 	var out []flex.Key
+	buf := make([]flex.Key, 64)
 	for {
-		k, ok, err := sub.next()
+		n, err := sub.nextBatch(buf)
+		for _, k := range buf[:n] {
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				out = append(out, k)
+			}
+		}
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
+		if n == 0 {
 			break
-		}
-		if _, dup := seen[k]; !dup {
-			seen[k] = struct{}{}
-			out = append(out, k)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

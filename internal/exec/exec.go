@@ -80,7 +80,23 @@ type Context struct {
 	// FinishObj is carried through to Iterator.FinishObj for the
 	// OnFinish hook. Storing a pointer here does not allocate.
 	FinishObj any
+	// Batch sets the operator pull-batch size: how many tuples one
+	// nextBatch call moves between operators (and how many index entries
+	// one bulk cursor advance decodes). 0 means DefaultBatch; values are
+	// clamped to [1, MaxBatch]. Batch 1 degenerates to tuple-at-a-time
+	// execution with identical delivery order at every batch size.
+	Batch int
 }
+
+// DefaultBatch is the executor's default pull-batch size. Picked by the
+// vbench batch sweep (see EXPERIMENTS.md): throughput on scan-heavy
+// shapes saturates between 64 and 256, and 128 keeps the per-run key
+// slab small.
+const DefaultBatch = 128
+
+// MaxBatch caps Context.Batch: beyond this the key slabs dominate the
+// run state for no measurable throughput gain.
+const MaxBatch = 1024
 
 // State is an operator's execution state (paper §VII).
 type State uint8
@@ -119,6 +135,18 @@ type Iterator struct {
 	done     bool
 	finished bool // finishRun already fired
 
+	// Delivery buffer: Next serves tuples out of the last batch pulled
+	// from the pipeline root. out is carved from the run-state key slab;
+	// fill is the adaptive refill size (it starts small and doubles up to
+	// len(out), so a caller that abandons the iterator after one tuple —
+	// the exists / first-match pattern — never pays for a full batch).
+	out        []flex.Key
+	outPos     int
+	outLen     int
+	fill       int
+	pendingErr error
+	maxResults uint64 // MaxResults budget (0 = none); caps refill size
+
 	nResults    uint64
 	onFinish    func(*Iterator)
 	finishStart time.Time
@@ -135,7 +163,15 @@ type Iterator struct {
 type runState struct {
 	arena []stepExec
 	steps []*stepExec
-	lim   Limiter
+	// keys backs the run's batch buffers (the iterator's delivery buffer
+	// and each non-leaf step's context buffer), carved by env.scratch.
+	// Pooled with the rest of the run state so warm batched runs stay
+	// allocation-free.
+	keys []flex.Key
+	// emitted backs rootExec's sorted-mode dedup log, pooled so the
+	// per-result append never regrows across warm runs.
+	emitted []flex.Key
+	lim     Limiter
 }
 
 var runPool sync.Pool
@@ -168,6 +204,13 @@ func Run(p *plan.Plan, ctx Context) (*Iterator, error) {
 			e.traceBase = time.Now()
 		}
 	}
+	batch := ctx.Batch
+	if batch <= 0 {
+		batch = DefaultBatch
+	} else if batch > MaxBatch {
+		batch = MaxBatch
+	}
+	e.batch = batch
 	account := ctx.Trace || ctx.Account
 	if n := countSteps(p.Root); n > 0 {
 		rs, _ := runPool.Get().(*runState)
@@ -181,9 +224,17 @@ func Run(p *plan.Plan, ctx Context) (*Iterator, error) {
 		if cap(rs.steps) < n {
 			rs.steps = make([]*stepExec, 0, n)
 		}
+		// One batch buffer per step (only child-bearing steps carve one)
+		// plus the iterator's delivery buffer.
+		if need := (n + 1) * batch; cap(rs.keys) < need {
+			rs.keys = make([]flex.Key, need)
+		}
 		it.rs = rs
 		e.arena = rs.arena[:0]
 		e.steps = rs.steps[:0]
+		e.keys = rs.keys[:cap(rs.keys)]
+		e.keysOff = 0
+		e.emittedLog = rs.emitted[:0]
 		if account {
 			e.lim = govern.ArmAccounting(&rs.lim, ctx.Ctx, ctx.Limits)
 		} else {
@@ -209,6 +260,12 @@ func Run(p *plan.Plan, ctx Context) (*Iterator, error) {
 	}
 	root.reset(start)
 	it.root = root
+	it.out = e.scratch(batch)
+	// The first refill pulls a single tuple — identical laziness to
+	// tuple-at-a-time for first-match consumers — and doubles from there,
+	// reaching the full batch within a handful of refills on drains.
+	it.fill = 1
+	it.maxResults = ctx.Limits.MaxResults
 	return it, nil
 }
 
@@ -233,8 +290,19 @@ func (it *Iterator) release() {
 	it.rs = nil
 	rs.arena = it.env.arena[:0]
 	rs.steps = it.env.steps[:0]
+	// Recover the dedup log's (possibly grown) backing from the root
+	// operator; a run that degraded to the hash set has nothing to return.
+	if r := it.env.rootNode; r != nil {
+		if r.emitted != nil {
+			rs.emitted = r.emitted[:0]
+		}
+		it.env.rootNode = nil
+	}
+	it.env.emittedLog = nil
 	it.env.arena = nil
 	it.env.steps = nil
+	it.env.keys = nil
+	it.out = nil
 	runPool.Put(rs)
 }
 
@@ -263,27 +331,27 @@ func (o *orderedExec) reset(ctx flex.Key) {
 	o.out, o.i, o.filled = nil, 0, false
 }
 
-func (o *orderedExec) next() (flex.Key, bool, error) {
+func (o *orderedExec) nextBatch(dst []flex.Key) (int, error) {
 	if !o.filled {
 		for {
-			k, ok, err := o.child.next()
+			n, err := o.child.nextBatch(dst)
 			if err != nil {
-				return "", false, err
+				// Nothing was delivered out of this operator yet, so the
+				// whole materialized set is discarded with the error — the
+				// same all-or-nothing semantics as tuple-at-a-time.
+				return 0, err
 			}
-			if !ok {
+			if n == 0 {
 				break
 			}
-			o.out = append(o.out, k)
+			o.out = append(o.out, dst[:n]...)
 		}
 		sort.Slice(o.out, func(i, j int) bool { return o.out[i] < o.out[j] })
 		o.filled = true
 	}
-	if o.i >= len(o.out) {
-		return "", false, nil
-	}
-	k := o.out[o.i]
-	o.i++
-	return k, true, nil
+	n := copy(dst, o.out[o.i:])
+	o.i += n
+	return n, nil
 }
 
 // Next advances to the next result tuple.
@@ -296,24 +364,60 @@ func (it *Iterator) Next() bool {
 		it.fail(err)
 		return false
 	}
-	k, ok, err := it.root.next()
-	if err != nil {
-		it.fail(err)
-		return false
-	}
-	if !ok {
-		it.done = true
-		it.finishRun()
+	if it.outPos >= it.outLen && !it.refill() {
 		return false
 	}
 	// Charge the delivery: with MaxResults = N, exactly N tuples are
-	// delivered and materializing the (N+1)th trips the budget.
+	// delivered and materializing the (N+1)th trips the budget. The
+	// charge stays per-delivery (not per-batch) so the typed budget error
+	// carries the same Used count batched as unbatched; refill bounds its
+	// batch to the budget's remainder so the pipeline never computes far
+	// past the trip point.
 	if err := lim.AddResults(1); err != nil {
 		it.fail(err)
 		return false
 	}
-	it.cur = k
+	it.cur = it.out[it.outPos]
+	it.outPos++
 	it.nResults++
+	return true
+}
+
+// refill pulls the next batch of tuples from the pipeline root into the
+// delivery buffer, reporting whether any are available. The refill size
+// ramps up from a few tuples to the full batch so early-terminating
+// callers stay cheap, and is capped near the results budget.
+func (it *Iterator) refill() bool {
+	if it.pendingErr != nil {
+		it.fail(it.pendingErr)
+		return false
+	}
+	b := it.fill
+	if b < len(it.out) {
+		it.fill = min(b*2, len(it.out))
+	}
+	if it.maxResults > 0 {
+		if rem := it.maxResults - it.nResults + 1; uint64(b) > rem {
+			b = int(rem)
+		}
+	}
+	n, err := it.root.nextBatch(it.out[:b])
+	it.outPos, it.outLen = 0, n
+	if err != nil {
+		if n == 0 {
+			it.fail(err)
+			return false
+		}
+		// The tuples preceding the failure are delivered first; the error
+		// surfaces on the refill after them.
+		it.pendingErr = err
+		return true
+	}
+	if n == 0 {
+		it.done = true
+		it.finishRun()
+		return false
+	}
 	return true
 }
 
@@ -456,6 +560,16 @@ type env struct {
 	// (newStep falls back to individual allocations once full), so
 	// pointers into it stay valid.
 	arena []stepExec
+	// batch is the run's pull-batch size; keys/keysOff back the batch
+	// buffers env.scratch carves (the slab is pooled via runState).
+	batch   int
+	keys    []flex.Key
+	keysOff int
+	// emittedLog is the pooled backing for the first rootExec's dedup
+	// log, handed over in build; rootNode remembers that operator so
+	// release can recover the capacity.
+	emittedLog []flex.Key
+	rootNode   *rootExec
 	// axisBinds batches per-axis scan-bind counts for the whole run
 	// (including transient predicate subplans, which share this env);
 	// flushed to the global counters once, at run finish.
@@ -471,6 +585,19 @@ type env struct {
 // nowNS returns the current span-clock reading: nanoseconds since the
 // run's trace base.
 func (e *env) nowNS() int64 { return int64(time.Since(e.traceBase)) }
+
+// scratch carves an n-key batch buffer from the run's pooled key slab,
+// falling back to a fresh allocation once the slab is exhausted (stepless
+// plans and transient subplans built during expression evaluation — both
+// already allocate elsewhere).
+func (e *env) scratch(n int) []flex.Key {
+	if e.keysOff+n <= len(e.keys) {
+		b := e.keys[e.keysOff : e.keysOff+n : e.keysOff+n]
+		e.keysOff += n
+		return b
+	}
+	return make([]flex.Key, n)
+}
 
 // newStep carves a step executor out of the arena, or allocates one when
 // the arena is exhausted (transient subplans built during expression
@@ -583,9 +710,19 @@ func (it *Iterator) StepSpans() []StepSpan {
 
 // execNode is a pipelined operator instance. reset rebinds the context of
 // the subtree's leaf operators and rewinds all state to INITIAL.
+//
+// nextBatch is the batched pull: it fills dst (len >= 1, owned by the
+// caller for the duration of the call) with the operator's next tuples
+// and returns how many it produced. An operator fills dst completely
+// unless it is exhausted or fails, so a short count means
+// exhausted-or-error and n == 0 with a nil error means exhausted. On a
+// non-nil error the dst[:n] tuples are valid — they precede the failure
+// in stream order and callers deliver them before surfacing the error.
+// Delivery order is independent of len(dst): batch size never changes
+// the tuple stream, only how many move per call.
 type execNode interface {
 	reset(ctx flex.Key)
-	next() (flex.Key, bool, error)
+	nextBatch(dst []flex.Key) (int, error)
 }
 
 // build constructs the executable mirror of a plan operator.
@@ -596,7 +733,13 @@ func (e *env) build(op plan.Op) (execNode, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &rootExec{child: child, distinct: t.Distinct}, nil
+		re := &rootExec{child: child, distinct: t.Distinct}
+		if e.rootNode == nil {
+			re.emitted = e.emittedLog[:0]
+			e.emittedLog = nil
+			e.rootNode = re
+		}
+		return re, nil
 	case *plan.Step:
 		se := e.newStep(t)
 		if e.building {
@@ -608,6 +751,7 @@ func (e *env) build(op plan.Op) (execNode, error) {
 				return nil, err
 			}
 			se.child = child
+			se.ctxBuf = e.scratch(e.batch)
 		}
 		for _, p := range t.Preds {
 			pe, err := e.buildPred(p)
@@ -639,57 +783,97 @@ func (e *env) build(op plan.Op) (execNode, error) {
 }
 
 // rootExec implements R: it forwards every tuple of its context child,
-// optionally eliminating duplicates (a streaming hash set — the node-set
-// semantics the paper's Q2 rewrite relies on).
+// optionally eliminating duplicates (the node-set semantics the paper's
+// Q2 rewrite relies on).
 type rootExec struct {
 	child    execNode
 	distinct bool
-	// The streaming dedup set is only materialized once a second distinct
-	// tuple arrives; single-result queries (the common point-lookup case)
-	// never pay for the map.
-	haveFirst bool
-	first     flex.Key
-	seen      map[flex.Key]struct{}
-	state     State
+	// Streaming dedup, adaptive: forward-axis pipelines — the scan-heavy
+	// common case — deliver tuples in non-decreasing document order, where
+	// every duplicate is adjacent, so a last-key compare plus an ordered
+	// log of emitted keys suffices and no hashing happens at all. The
+	// first out-of-order tuple (reverse axes, interleaved union arms)
+	// materializes the hash set from the log and the stream degrades to
+	// map-based dedup. Single-result point lookups never build either.
+	haveLast bool
+	last     flex.Key
+	emitted  []flex.Key // sorted-mode log; nil once seen is built
+	seen     map[flex.Key]struct{}
+	state    State
 }
 
 func (r *rootExec) reset(ctx flex.Key) {
 	r.child.reset(ctx)
-	r.haveFirst = false
+	r.haveLast = false
+	r.last = ""
+	r.emitted = r.emitted[:0]
 	r.seen = nil
 	r.state = Initial
 }
 
-func (r *rootExec) next() (flex.Key, bool, error) {
+func (r *rootExec) nextBatch(dst []flex.Key) (int, error) {
 	if r.state == OutOfTuples {
-		return "", false, nil
+		return 0, nil
 	}
 	r.state = Fetching
-	for {
-		k, ok, err := r.child.next()
-		if err != nil || !ok {
+	n := 0
+	for n < len(dst) {
+		m, err := r.child.nextBatch(dst[n:])
+		if err != nil {
+			if m > 0 && r.distinct {
+				m = r.dedup(dst[n : n+m])
+			}
 			r.state = OutOfTuples
-			return "", false, err
+			return n + m, err
+		}
+		if m == 0 {
+			r.state = OutOfTuples
+			break
 		}
 		if r.distinct {
-			if r.seen == nil {
-				if !r.haveFirst {
-					r.haveFirst, r.first = true, k
-					return k, true, nil
-				}
-				if k == r.first {
-					continue
-				}
-				r.seen = map[flex.Key]struct{}{r.first: {}, k: {}}
-				return k, true, nil
-			}
-			if _, dup := r.seen[k]; dup {
+			m = r.dedup(dst[n : n+m])
+		}
+		n += m
+	}
+	return n, nil
+}
+
+// dedup compacts batch in place, dropping tuples already seen across the
+// whole stream, and returns the surviving count. While the stream has
+// been non-decreasing it runs in sorted mode (last-key compare, append
+// to the log); the first out-of-order tuple switches to the hash set.
+// The emitted stream is identical either way — only the membership
+// structure differs.
+func (r *rootExec) dedup(batch []flex.Key) int {
+	w := 0
+	for _, k := range batch {
+		if r.seen == nil {
+			if !r.haveLast || k > r.last {
+				r.haveLast, r.last = true, k
+				r.emitted = append(r.emitted, k)
+				batch[w] = k
+				w++
 				continue
 			}
-			r.seen[k] = struct{}{}
+			if k == r.last {
+				continue
+			}
+			// k < last: the sorted streak is over. Everything emitted so
+			// far is in the log; build the set from it and degrade.
+			r.seen = make(map[flex.Key]struct{}, len(r.emitted)+1)
+			for _, e := range r.emitted {
+				r.seen[e] = struct{}{}
+			}
+			r.emitted = nil
 		}
-		return k, true, nil
+		if _, dup := r.seen[k]; dup {
+			continue
+		}
+		r.seen[k] = struct{}{}
+		batch[w] = k
+		w++
 	}
+	return w
 }
 
 // stepExec implements φ per Algorithm 1. A leaf (no context child) scans
@@ -722,6 +906,16 @@ type stepExec struct {
 	// rebound to each context tuple, so binding a context allocates
 	// nothing after the first.
 	scanner mass.Scanner
+	// Context batching (Algorithm 2, vectorized): context tuples are
+	// pulled from the child a batch at a time into ctxBuf (carved from
+	// the run's key slab) and bound one by one. A child error with
+	// buffered contexts still ahead of it is deferred in ctxErr until
+	// they are consumed, preserving tuple-at-a-time stream order.
+	ctxBuf  []flex.Key
+	ctxPos  int
+	ctxLen  int
+	ctxDone bool
+	ctxErr  error
 	// Streaming predicate positions: posCounts[j] counts candidates that
 	// passed predicates 0..j-1 for the current context (XPath proximity
 	// position). posBuf backs it inline for the common few-predicate case.
@@ -739,122 +933,185 @@ func (s *stepExec) reset(ctx flex.Key) {
 	s.scan = nil
 	s.batch = nil
 	s.bi = 0
+	s.ctxPos, s.ctxLen = 0, 0
+	s.ctxDone, s.ctxErr = false, nil
 	if s.child != nil {
 		s.child.reset(ctx)
 	}
 }
 
-func (s *stepExec) next() (flex.Key, bool, error) {
+func (s *stepExec) nextBatch(dst []flex.Key) (int, error) {
 	if !s.env.traced {
-		return s.advance()
+		return s.advance(dst)
 	}
-	return s.tracedNext()
+	return s.tracedNextBatch(dst)
 }
 
-// tracedNext wraps advance with span recording: the first call stamps the
-// open offset, every call stamps the close offset on return (so the span
-// always ends at the operator's last activity — an operator whose
-// subplan is short-circuited, like an exists-predicate's, still nests
-// inside its parent), and every call accumulates the limiter's
+// tracedNextBatch wraps advance with span recording: the first call
+// stamps the open offset, every call stamps the close offset on return
+// (so the span always ends at the operator's last activity — an operator
+// whose subplan is short-circuited, like an exists-predicate's, still
+// nests inside its parent), and every call accumulates the limiter's
 // pages-read / records-decoded movement while this step's frame was
 // live — inclusive of child operators, so span consumption nests the way
-// span time does.
-func (s *stepExec) tracedNext() (flex.Key, bool, error) {
+// span time does. Batching moves whole batches per call, so the trace
+// clock is read once per batch instead of once per tuple.
+func (s *stepExec) tracedNextBatch(dst []flex.Key) (int, error) {
 	if !s.spanOpened {
 		s.spanOpened = true
 		s.openNS = s.env.nowNS()
 	}
 	lim := s.env.lim
 	p0, r0 := lim.PagesRead(), lim.DecodedRecords()
-	k, ok, err := s.advance()
+	n, err := s.advance(dst)
 	s.spanPages += lim.PagesRead() - p0
 	s.spanRecs += lim.DecodedRecords() - r0
 	s.closeNS = s.env.nowNS()
-	return k, ok, err
+	return n, err
 }
 
-// advance is the untraced step pull loop (Algorithm 1/2).
-func (s *stepExec) advance() (flex.Key, bool, error) {
-	for s.state != OutOfTuples {
+// advance is the untraced step pull loop (Algorithm 1/2, vectorized):
+// it fills dst from the current scan — pulling index keys a batch at a
+// time and filtering them in place — binding the next context whenever a
+// scan drains, until dst is full or the step runs out of contexts.
+func (s *stepExec) advance(dst []flex.Key) (int, error) {
+	n := 0
+	for n < len(dst) && s.state != OutOfTuples {
 		if s.scan == nil {
 			// INITIAL, or the previous context's scan is exhausted: bind
-			// the next context (Algorithm 2).
-			var ctx flex.Key
-			if s.child == nil {
-				if s.state != Initial {
-					s.state = OutOfTuples
-					return "", false, nil
-				}
-				ctx = s.leafCtx
-			} else {
-				k, ok, err := s.child.next()
-				if err != nil {
-					return "", false, err
-				}
-				if !ok {
-					s.state = OutOfTuples
-					return "", false, nil
-				}
-				ctx = k
+			// the next context (Algorithm 2). The child pull is sized by
+			// the caller's own demand so early-terminating consumers stay
+			// lazy through the whole pipeline.
+			ctx, ok, err := s.nextContext(len(dst))
+			if err != nil {
+				return n, err
 			}
-			s.nIn++
-			s.env.axisBinds[s.op.Axis]++
-			s.state = Fetching
-			if s.op.Axis == mass.AxisNumRange {
-				s.scan = s.env.store.NumericRangeScanLim(s.env.doc, ctx,
-					s.op.NumLo, s.op.NumLoIncl, s.op.NumHi, s.op.NumHiIncl, s.env.lim)
-			} else {
-				s.scanner.SetLimiter(s.env.lim)
-				s.scan = s.env.store.BindScan(&s.scanner, s.env.doc, ctx, s.op.Axis, s.op.Test)
+			if !ok {
+				s.state = OutOfTuples
+				break
 			}
-			// Reuse the proximity-position buffer across context bindings;
-			// a non-leaf step binds one context per input tuple, so this
-			// would otherwise allocate once per tuple.
-			if s.posCounts == nil {
-				if len(s.preds) <= len(s.posBuf) {
-					s.posCounts = s.posBuf[:len(s.preds)]
-				} else {
-					s.posCounts = make([]int, len(s.preds))
-				}
-			}
-			for i := range s.posCounts {
-				s.posCounts[i] = 0
-			}
+			s.bindContext(ctx)
 			if s.needLast {
 				if err := s.fillBatch(); err != nil {
-					return "", false, err
+					return n, err
 				}
 			}
 		}
 		if s.needLast {
-			if s.bi < len(s.batch) {
-				k := s.batch[s.bi]
+			for s.bi < len(s.batch) && n < len(dst) {
+				dst[n] = s.batch[s.bi]
 				s.bi++
 				s.nOut++
-				return k, true, nil
+				n++
 			}
-			s.scan = nil
-			continue
-		}
-		n, ok := s.scan.Next()
-		if !ok {
-			if err := s.scan.Err(); err != nil {
-				return "", false, err
+			if s.bi >= len(s.batch) {
+				s.scan = nil
+				continue
 			}
-			s.scan = nil
-			continue
+			return n, nil // dst full
 		}
-		s.nScanned++
-		pass, err := s.applyPreds(n.Key)
+		// Pull a run of candidate keys straight into the caller's buffer;
+		// predicates then filter the run in place (the write index never
+		// overtakes the read index).
+		free := dst[n:]
+		m, err := s.scan.NextKeys(free)
+		s.nScanned += uint64(m)
+		if len(s.preds) == 0 {
+			n += m
+			s.nOut += uint64(m)
+		} else {
+			for i := 0; i < m; i++ {
+				pass, perr := s.applyPreds(free[i])
+				if perr != nil {
+					return n, perr
+				}
+				if pass {
+					dst[n] = free[i]
+					s.nOut++
+					n++
+				}
+			}
+		}
 		if err != nil {
-			return "", false, err
+			s.state = OutOfTuples
+			return n, err
 		}
-		if pass {
-			s.nOut++
-			return n.Key, true, nil
+		if m < len(free) {
+			s.scan = nil // this context's scan is exhausted
+		}
+		if n == len(dst) {
+			return n, nil
 		}
 	}
-	return "", false, nil
+	return n, nil
+}
+
+// nextContext returns the next context tuple to bind, refilling the
+// context buffer from the child when it drains. want (the caller's
+// remaining demand) bounds the refill so a one-tuple pull at the top of
+// the pipeline pulls one context at every level below it.
+func (s *stepExec) nextContext(want int) (flex.Key, bool, error) {
+	if s.child == nil {
+		if s.state != Initial {
+			return "", false, nil
+		}
+		return s.leafCtx, true, nil
+	}
+	if s.ctxPos >= s.ctxLen {
+		if s.ctxErr != nil {
+			return "", false, s.ctxErr
+		}
+		if s.ctxDone {
+			return "", false, nil
+		}
+		if want > len(s.ctxBuf) {
+			want = len(s.ctxBuf)
+		}
+		if want < 1 {
+			want = 1
+		}
+		m, err := s.child.nextBatch(s.ctxBuf[:want])
+		s.ctxPos, s.ctxLen = 0, m
+		if err != nil {
+			if m == 0 {
+				return "", false, err
+			}
+			s.ctxErr = err // surface after the buffered contexts drain
+		} else if m == 0 {
+			s.ctxDone = true
+			return "", false, nil
+		}
+	}
+	k := s.ctxBuf[s.ctxPos]
+	s.ctxPos++
+	return k, true, nil
+}
+
+// bindContext opens the axis scan for one context tuple.
+func (s *stepExec) bindContext(ctx flex.Key) {
+	s.nIn++
+	s.env.axisBinds[s.op.Axis]++
+	s.state = Fetching
+	if s.op.Axis == mass.AxisNumRange {
+		s.scan = s.env.store.NumericRangeScanLim(s.env.doc, ctx,
+			s.op.NumLo, s.op.NumLoIncl, s.op.NumHi, s.op.NumHiIncl, s.env.lim)
+	} else {
+		s.scanner.SetLimiter(s.env.lim)
+		s.scan = s.env.store.BindScan(&s.scanner, s.env.doc, ctx, s.op.Axis, s.op.Test)
+	}
+	// Reuse the proximity-position buffer across context bindings;
+	// a non-leaf step binds one context per input tuple, so this
+	// would otherwise allocate once per tuple.
+	if s.posCounts == nil {
+		if len(s.preds) <= len(s.posBuf) {
+			s.posCounts = s.posBuf[:len(s.preds)]
+		} else {
+			s.posCounts = make([]int, len(s.preds))
+		}
+	}
+	for i := range s.posCounts {
+		s.posCounts[i] = 0
+	}
 }
 
 // applyPreds evaluates the step's predicates in order against candidate,
@@ -922,33 +1179,35 @@ func (u *unionExec) reset(ctx flex.Key) {
 	u.filled = false
 }
 
-func (u *unionExec) next() (flex.Key, bool, error) {
+func (u *unionExec) nextBatch(dst []flex.Key) (int, error) {
 	if !u.filled {
+		// Both sides drain through dst as scratch; the merged set is
+		// deduplicated batch by batch and sorted once, so union results
+		// are identical at every batch size.
 		seen := map[flex.Key]struct{}{}
 		for _, side := range []execNode{u.left, u.right} {
 			for {
-				k, ok, err := side.next()
+				n, err := side.nextBatch(dst)
 				if err != nil {
-					return "", false, err
+					return 0, err
 				}
-				if !ok {
+				if n == 0 {
 					break
 				}
-				if _, dup := seen[k]; !dup {
-					seen[k] = struct{}{}
-					u.out = append(u.out, k)
+				for _, k := range dst[:n] {
+					if _, dup := seen[k]; !dup {
+						seen[k] = struct{}{}
+						u.out = append(u.out, k)
+					}
 				}
 			}
 		}
 		sort.Slice(u.out, func(i, j int) bool { return u.out[i] < u.out[j] })
 		u.filled = true
 	}
-	if u.i >= len(u.out) {
-		return "", false, nil
-	}
-	k := u.out[u.i]
-	u.i++
-	return k, true, nil
+	n := copy(dst, u.out[u.i:])
+	u.i += n
+	return n, nil
 }
 
 // usesLast reports whether a predicate operator's expression calls last()

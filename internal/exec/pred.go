@@ -55,15 +55,19 @@ func (e *env) buildPred(op plan.Op) (predEval, error) {
 
 // existEval implements ξ: the candidate satisfies the predicate when the
 // subplan, with its leaf context bound to the candidate, yields at least
-// one tuple (paper §V-C.4).
+// one tuple (paper §V-C.4). The one-tuple pull buffer lives on the
+// evaluator (already heap-resident) so the existence probe allocates
+// nothing, and its demand of one propagates down the subplan — batched
+// execution stays fully lazy under early termination.
 type existEval struct {
 	sub execNode
+	buf [1]flex.Key
 }
 
 func (p *existEval) eval(candidate flex.Key, _, _ int) (bool, error) {
 	p.sub.reset(candidate)
-	_, ok, err := p.sub.next()
-	return ok, err
+	n, err := p.sub.nextBatch(p.buf[:])
+	return n > 0 && err == nil, err
 }
 
 // boolEval implements β(AND)/β(OR).
@@ -117,24 +121,29 @@ func (s *literalSide) values(flex.Key) ([]string, bool, error) {
 type pathSide struct {
 	env *env
 	sub execNode
+	// buf is the drain buffer for the operand subplan; on the evaluator
+	// (not the stack) so values() costs no per-call allocation for it.
+	buf [16]flex.Key
 }
 
 func (s *pathSide) values(candidate flex.Key) ([]string, bool, error) {
 	s.sub.reset(candidate)
 	var out []string
 	for {
-		k, ok, err := s.sub.next()
+		n, err := s.sub.nextBatch(s.buf[:])
+		for _, k := range s.buf[:n] {
+			sv, serr := s.env.store.StringValue(s.env.doc, k)
+			if serr != nil {
+				return nil, false, serr
+			}
+			out = append(out, sv)
+		}
 		if err != nil {
 			return nil, false, err
 		}
-		if !ok {
+		if n == 0 {
 			return out, false, nil
 		}
-		sv, err := s.env.store.StringValue(s.env.doc, k)
-		if err != nil {
-			return nil, false, err
-		}
-		out = append(out, sv)
 	}
 }
 

@@ -3,6 +3,7 @@ package mass
 import (
 	"fmt"
 
+	"vamana/internal/flex"
 	"vamana/internal/xmldoc"
 )
 
@@ -221,6 +222,51 @@ func (s *Scan) Next() (xmldoc.Node, bool) {
 		return xmldoc.Node{}, false
 	}
 	return n, true
+}
+
+// NextKeys fills dst with the FLEX keys of the scan's next nodes and
+// returns how many it produced: len(dst), unless the scan is exhausted
+// or failed first (a short count means exhausted-or-error; once drained,
+// further calls return 0). It is the batched pull the execution engine
+// uses when only keys matter: forward range shapes advance the
+// underlying B+-tree cursor in bulk under a single store-lock
+// acquisition per call instead of one per entry. The keys preceding a
+// failure are valid and are delivered along with the error.
+//
+// NextKeys and Next must not be mixed on one binding — their cursor
+// protocols differ.
+func (s *Scan) NextKeys(dst []flex.Key) (int, error) {
+	if s.done {
+		return 0, s.err
+	}
+	var (
+		n   int
+		err error
+	)
+	if s.sc != nil {
+		n, err = s.sc.nextKeys(dst)
+	} else {
+		for n < len(dst) {
+			node, ok, nerr := s.next()
+			if nerr != nil {
+				err = nerr
+				break
+			}
+			if !ok {
+				break
+			}
+			dst[n] = node.Key
+			n++
+		}
+	}
+	if err != nil {
+		s.err, s.done = err, true
+		return n, err
+	}
+	if n < len(dst) {
+		s.done = true
+	}
+	return n, nil
 }
 
 // Err returns the first error the scan encountered.

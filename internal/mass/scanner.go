@@ -56,6 +56,13 @@ type Scanner struct {
 	// it, and BindScan installs it on the cursor for page accounting.
 	lim *govern.Limiter
 
+	// keyBuf/keyLens are batched-pull scratch: one pull's accepted key
+	// bytes accumulate in keyBuf so a single string conversion backs the
+	// whole batch (each emitted key is a substring view), instead of one
+	// allocation per key.
+	keyBuf  []byte
+	keyLens []int
+
 	scan Scan
 }
 
@@ -315,6 +322,153 @@ func (sc *Scanner) nextNode() (xmldoc.Node, bool, error) {
 	default:
 		return xmldoc.Node{}, false, fmt.Errorf("mass: scanner in unknown shape %d", sc.shape)
 	}
+}
+
+// nextKeys is the batched pull behind Scan.NextKeys: forward range
+// shapes walk the cursor in bulk (one lock acquisition and one bulk
+// cursor advance per batch, a tight per-leaf loop underneath); every
+// other shape falls back to the per-entry walk, which still amortizes
+// the executor's virtual-dispatch cost across the batch.
+func (sc *Scanner) nextKeys(dst []flex.Key) (int, error) {
+	if (sc.shape == shapeRange || sc.shape == shapeSelfThenRange) && !sc.reverse {
+		return sc.nextKeysRange(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		node, ok, err := sc.nextNode()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		dst[n] = node.Key
+		n++
+	}
+	return n, nil
+}
+
+// nextKeysRange bulk-walks a forward [lo, hi) range, filling dst with
+// accepted keys. Governance semantics are identical to the per-entry
+// walk: the limiter ticks once per index entry examined (preserving the
+// 256-tick cancellation cadence), record decodes charge AddRecords
+// exactly where accept would, and page reads charge through the cursor's
+// limiter at leaf crossings.
+func (sc *Scanner) nextKeysRange(dst []flex.Key) (int, error) {
+	n := 0
+	if sc.shape == shapeSelfThenRange && !sc.selfDone {
+		sc.selfDone = true
+		node, ok, err := sc.evalSelf()
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			dst[0] = node.Key
+			n = 1
+			if n == len(dst) {
+				return n, nil
+			}
+		}
+	}
+	if sc.done {
+		return n, nil
+	}
+	s := sc.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !sc.started {
+		sc.started = true
+		if !sc.cur.Seek(sc.lo) {
+			sc.done = true
+			return n, sc.cur.Err()
+		}
+	}
+	// The wildcard filter needs no value (the key suffix alone identifies
+	// the element); skipping the fetch avoids touching value cells at all
+	// on '*' scans.
+	needVal := sc.needsValue && sc.kind != acceptWildcard
+	var entryErr error
+	var more bool
+	if sc.kind == acceptName || sc.kind == acceptWildcard {
+		// Filtering runs on byte views and accepted key bytes accumulate
+		// in keyBuf; one string conversion per pull then backs every
+		// emitted key as a substring — the scan-heavy common case makes
+		// one allocation per batch instead of one per key.
+		base := n
+		sc.keyBuf, sc.keyLens = sc.keyBuf[:0], sc.keyLens[:0]
+		more = sc.cur.ScanBatch(sc.hi, needVal, func(k, _ []byte) bool {
+			if err := sc.lim.Tick(); err != nil {
+				entryErr = err
+				return false
+			}
+			if kb, keep := sc.acceptKeyView(k); keep {
+				sc.keyBuf = append(sc.keyBuf, kb...)
+				sc.keyLens = append(sc.keyLens, len(kb))
+				n++
+			}
+			return n < len(dst)
+		})
+		if n > base {
+			batch := string(sc.keyBuf)
+			off := 0
+			for i, l := range sc.keyLens {
+				dst[base+i] = flex.Key(batch[off : off+l])
+				off += l
+			}
+		}
+	} else {
+		// Text, node() and value entries keep the materializing accept
+		// path so record decoding (and its governance charging) stays
+		// byte-for-byte identical to the per-entry walk.
+		more = sc.cur.ScanBatch(sc.hi, needVal, func(k, v []byte) bool {
+			if err := sc.lim.Tick(); err != nil {
+				entryErr = err
+				return false
+			}
+			node, keep, err := sc.accept(k, v)
+			if err != nil {
+				entryErr = err
+				return false
+			}
+			if keep {
+				dst[n] = node.Key
+				n++
+			}
+			return n < len(dst)
+		})
+	}
+	if entryErr != nil {
+		sc.done = true
+		return n, entryErr
+	}
+	if !more {
+		sc.done = true
+		if err := sc.cur.Err(); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// acceptKeyView is accept for batched name/wildcard pulls: identical
+// filtering, returning the FLEX-key byte view instead of a materialized
+// node — the caller batches the string allocation. Runs with the store
+// lock held; the returned view is tree-owned and must be copied before
+// the lock is released.
+func (sc *Scanner) acceptKeyView(k []byte) ([]byte, bool) {
+	var kb []byte
+	if sc.kind == acceptName {
+		_, kb, _ = splitNameKeyView(k)
+	} else {
+		kb = clusteredKeySuffix(k)
+	}
+	if sc.depth > 0 && flex.DepthOf(kb) != sc.depth {
+		return nil, false
+	}
+	if sc.skipAnc != "" && flex.BytesIsAncestorOf(kb, sc.skipAnc) {
+		return nil, false
+	}
+	return kb, true
 }
 
 // evalSelf tests the context node itself (self:: and the self half of

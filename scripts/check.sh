@@ -65,4 +65,10 @@ echo "== trace overhead gate (unsampled tracing vs untraced serving, 1% budget)"
 # TestTraceOverheadGate.
 VAMANA_TRACE_GATE=1 go test -run '^TestTraceOverheadGate$' -v -count 1 .
 
+echo "== batch throughput gate (batched vs tuple-at-a-time scan drains, 1.5x floor)"
+# Paired interleaved best-of-rounds: the default-batch engine must stay
+# >= 1.5x tuple-at-a-time on scan-heavy shapes — see
+# TestBatchThroughputGate.
+VAMANA_BATCH_GATE=1 go test -run '^TestBatchThroughputGate$' -v -count 1 -timeout 20m .
+
 echo "OK"

@@ -105,6 +105,13 @@ type Options struct {
 	// override it field by field; WithLimits replaces it. The zero value
 	// leaves every budget off.
 	DefaultLimits Limits
+	// ExecBatchSize sets the executor's pull-batch size: how many result
+	// tuples each operator hands its consumer per call (0 selects the
+	// built-in default, currently 128; 1 degenerates to tuple-at-a-time
+	// execution). Results are identical at every batch size — this knob
+	// exists for benchmarking the batch sweep and for differential
+	// testing, not for tuning production workloads.
+	ExecBatchSize int
 }
 
 // TraceContext is a sampled per-query execution trace: compile-vs-serve
@@ -153,6 +160,7 @@ func Open(opts Options) (*DB, error) {
 		TraceEvery:            opts.TraceEvery,
 		TraceSink:             opts.TraceSink,
 		FlightRecorderSize:    opts.FlightRecorderSize,
+		ExecBatch:             opts.ExecBatchSize,
 	})
 	if err != nil {
 		return nil, err
