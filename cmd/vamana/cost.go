@@ -1,0 +1,44 @@
+package main
+
+// The cost subcommand: dump a serving process's cost-model observatory
+// over its -metrics-addr introspection endpoint.
+//
+//	vamana cost -addr localhost:9090        aligned q-error table
+//	vamana cost -addr localhost:9090 -json  raw JSON profile
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+)
+
+func cmdCost(args []string) error {
+	fs := flag.NewFlagSet("cost", flag.ExitOnError)
+	addr := fs.String("addr", "", "the serving process's -metrics-addr (e.g. localhost:9090)")
+	asJSON := fs.Bool("json", false, "print the raw JSON profile instead of the table")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("cost needs -addr")
+	}
+
+	q := url.Values{}
+	if !*asJSON {
+		q.Set("format", "text")
+	}
+	u := url.URL{Scheme: "http", Host: *addr, Path: "/debug/vamana/cost", RawQuery: q.Encode()}
+
+	resp, err := http.Get(u.String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("cost: %s: %s", resp.Status, body)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}

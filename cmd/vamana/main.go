@@ -37,6 +37,8 @@ func main() {
 		err = cmdDocs(os.Args[2:])
 	case "traces":
 		err = cmdTraces(os.Args[2:])
+	case "cost":
+		err = cmdCost(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
 	case "help", "-h", "--help":
@@ -64,6 +66,8 @@ func usage() {
   vamana docs    -db FILE
   vamana traces  -addr HOST:PORT [-n N] [-chrome F.json]
                                                dump a serving process's flight recorder
+  vamana cost    -addr HOST:PORT [-json]       dump a serving process's cost-model
+                                               observatory (q-error profiles)
   vamana verify  -db FILE                      checksum every page of a database
 `)
 	os.Exit(2)

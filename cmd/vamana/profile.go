@@ -132,7 +132,9 @@ func (o *obsFlags) serveMetrics(db *vamana.DB) {
 	go func() {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", db.MetricsHandler())
-		mux.Handle("/debug/vamana/", db.DebugHandler("/debug/vamana"))
+		// One mount covers both /debug/vamana/* and the stdlib pprof
+		// handlers DebugHandler mounts at /debug/pprof/*.
+		mux.Handle("/debug/", db.DebugHandler("/debug/vamana"))
 		if err := http.ListenAndServe(o.metricsAddr, mux); err != nil {
 			fmt.Fprintln(os.Stderr, "vamana: metrics endpoint:", err)
 		}

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -149,6 +150,7 @@ func main() {
 	if *overhead {
 		printOverhead(out, fixtures, queries)
 	}
+	printEstimateQuality(out, fixtures, queries)
 	if *mem {
 		fmt.Fprintln(out)
 		for _, f := range fixtures {
@@ -241,6 +243,12 @@ type jsonRow struct {
 	Error             string   `json:"error,omitempty"`
 	PageCacheHitRatio *float64 `json:"page_cache_hit_ratio,omitempty"`
 	MemoHitRatio      *float64 `json:"memo_hit_ratio,omitempty"`
+	// Estimate quality (VAMANA engines only): the geometric-mean q-error
+	// over the plan's step operators and the worst-misestimated operator
+	// with its q-error, from one analyzed run after the timed sweep.
+	GeomeanQError *float64 `json:"geomean_q_error,omitempty"`
+	WorstOp       string   `json:"worst_op,omitempty"`
+	WorstQError   *float64 `json:"worst_q_error,omitempty"`
 }
 
 type jsonReport struct {
@@ -320,8 +328,53 @@ func runPointJSON(f *bench.Fixture, e bench.Engine, q bench.Query, repeat, batch
 		if e == bench.EngineVQPOpt {
 			row.MemoHitRatio = hitRatio(cs1.ProbeHits-cs0.ProbeHits, cs1.ProbeMisses-cs0.ProbeMisses)
 		}
+		eq, err := measureEstimateQuality(eng, q.XPath, e == bench.EngineVQPOpt, f)
+		if err == nil && eq.samples > 0 {
+			g, wq := eq.geomean, eq.worstQ
+			row.GeomeanQError, row.WorstOp, row.WorstQError = &g, eq.worstOp, &wq
+		}
 	}
 	return row
+}
+
+// estimateQuality summarizes one analyzed run's est-vs-act accuracy.
+type estimateQuality struct {
+	samples int
+	geomean float64 // geometric mean q-error over step operators
+	worstOp string
+	worstQ  float64
+}
+
+// measureEstimateQuality analyzes expr once (untimed, after the point's
+// measured runs) and folds each step's estimated OUT against its actual
+// OUT into a geometric-mean q-error plus the worst operator.
+func measureEstimateQuality(eng *core.Engine, expr string, optimized bool, f *bench.Fixture) (estimateQuality, error) {
+	_, doc := f.VamanaEngine()
+	q, err := eng.CompileCached(doc, expr, optimized)
+	if err != nil {
+		return estimateQuality{}, err
+	}
+	a, err := q.Analyze(doc)
+	if err != nil {
+		return estimateQuality{}, err
+	}
+	var eq estimateQuality
+	var sumLog float64
+	for _, st := range a.Stats {
+		if st.Op == nil || !st.Op.Cost.Done {
+			continue
+		}
+		qerr := obs.QError(st.Op.Cost.Out, st.Out)
+		sumLog += math.Log2(qerr)
+		eq.samples++
+		if qerr > eq.worstQ {
+			eq.worstQ, eq.worstOp = qerr, st.Op.Label()
+		}
+	}
+	if eq.samples > 0 {
+		eq.geomean = math.Exp2(sumLog / float64(eq.samples))
+	}
+	return eq, nil
 }
 
 // hitRatio returns hits/(hits+misses), or nil when the point generated no
@@ -357,6 +410,27 @@ func printOverhead(out io.Writer, fixtures []*bench.Fixture, queries []bench.Que
 				fmt.Sprintf("%dMB", f.SizeBytes>>20), q.ID,
 				r.OptTime.Round(time.Microsecond), cached.Round(time.Nanosecond),
 				r.Duration.Round(time.Microsecond), 100*ratio, 100*cachedRatio)
+		}
+	}
+}
+
+// printEstimateQuality renders the cost model's est-vs-act accuracy per
+// query: geometric-mean q-error over the optimized plan's steps and the
+// worst-misestimated operator. One untimed analyzed run per point.
+func printEstimateQuality(out io.Writer, fixtures []*bench.Fixture, queries []bench.Query) {
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "Estimate quality (VQP-OPT): geometric-mean q-error = max(est/act, act/est) over the")
+	fmt.Fprintln(out, "plan's step operators (1.0 = exact), and the step whose estimate missed by the most.")
+	fmt.Fprintf(out, "%-10s%-6s%10s%10s  %s\n", "size", "query", "geomean-q", "worst-q", "worst operator")
+	for _, f := range fixtures {
+		eng, _ := f.VamanaEngine()
+		for _, q := range queries {
+			eq, err := measureEstimateQuality(eng, q.XPath, true, f)
+			if err != nil || eq.samples == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "%-10s%-6s%10.2f%10.2f  %s\n",
+				fmt.Sprintf("%dMB", f.SizeBytes>>20), q.ID, eq.geomean, eq.worstQ, eq.worstOp)
 		}
 	}
 }

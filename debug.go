@@ -7,7 +7,9 @@ package vamana
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -30,6 +32,14 @@ const debugRateWindow = time.Minute
 //	                    JSON otherwise; ?n=N limits the count
 //	<prefix>/plancache  plan-cache and statistics-memo counters
 //	<prefix>/docs       loaded documents with node statistics
+//	<prefix>/cost       cost-model observatory: per-class q-error
+//	                    profiles and worst offenders; ?format=text for
+//	                    the aligned table, JSON otherwise
+//	<prefix>/           index page linking every endpoint
+//
+// The stdlib net/http/pprof handlers are mounted at /debug/pprof/*
+// (their conventional path, independent of prefix), so a live server
+// can be CPU- and heap-profiled with `go tool pprof` without a restart.
 //
 // The Prometheus text exposition stays on MetricsHandler; these
 // endpoints are JSON for tools and humans, not scrapers. The handler is
@@ -71,6 +81,8 @@ func (db *DB) DebugHandler(prefix string) http.Handler {
 			RecordsDecoded uint64    `json:"records_decoded"`
 			NodeCacheHits  uint64    `json:"node_cache_hits"`
 			TraceID        uint64    `json:"trace_id,omitempty"`
+			WorstOp        string    `json:"worst_op,omitempty"`
+			WorstQErr      float64   `json:"worst_q_error,omitempty"`
 			Err            string    `json:"err,omitempty"`
 		}
 		out := make([]slowEntry, len(slow))
@@ -86,6 +98,8 @@ func (db *DB) DebugHandler(prefix string) http.Handler {
 				RecordsDecoded: sq.RecordsDecoded,
 				NodeCacheHits:  sq.NodeCacheHits,
 				TraceID:        sq.TraceID,
+				WorstOp:        sq.WorstOp,
+				WorstQErr:      sq.WorstQErr,
 			}
 			if sq.Err != nil {
 				out[i].Err = sq.Err.Error()
@@ -114,6 +128,49 @@ func (db *DB) DebugHandler(prefix string) http.Handler {
 	mux.HandleFunc(prefix+"/plancache", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, db.CacheStats())
 	})
+	mux.HandleFunc(prefix+"/cost", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := db.CostProfile()
+		if !ok {
+			http.Error(w, "cost observatory disabled", http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			p.WriteText(w)
+			return
+		}
+		writeJSON(w, p)
+	})
+	// Debug index: one page linking every endpoint, including the pprof
+	// profiles below.
+	mux.HandleFunc(prefix+"/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != prefix+"/" && r.URL.Path != prefix {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, "<html><head><title>vamana debug</title></head><body><h1>vamana debug</h1><ul>")
+		for _, ep := range []struct{ path, desc string }{
+			{prefix + "/metrics", "counters, quantiles, per-second rates (JSON)"},
+			{prefix + "/slow", "slow-query ring, most recent first"},
+			{prefix + "/traces", "flight recorder (?format=chrome|text)"},
+			{prefix + "/plancache", "plan-cache and statistics-memo counters"},
+			{prefix + "/docs", "loaded documents with node statistics"},
+			{prefix + "/cost", "cost-model observatory (?format=text)"},
+			{"/debug/pprof/", "runtime profiles (CPU, heap, goroutines, ...)"},
+		} {
+			fmt.Fprintf(w, "<li><a href=%q>%s</a> — %s</li>", ep.path, ep.path, ep.desc)
+		}
+		fmt.Fprint(w, "</ul></body></html>")
+	})
+	// Live profiling: the stdlib pprof handlers at their conventional
+	// path, so `go tool pprof http://host/debug/pprof/profile` works
+	// against any server that mounted DebugHandler.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc(prefix+"/docs", func(w http.ResponseWriter, r *http.Request) {
 		type docEntry struct {
 			Name     string `json:"name"`

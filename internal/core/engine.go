@@ -67,6 +67,16 @@ type Options struct {
 	// 1 degenerates to tuple-at-a-time execution. Exposed mainly for the
 	// vbench batch sweep and the differential harness.
 	ExecBatch int
+	// DisableCostObservatory turns off est-vs-act accuracy collection on
+	// the serving path (on by default; the fold is allocation-free and
+	// inside the 1% observability budget). Benchmark pairing only.
+	DisableCostObservatory bool
+	// CostCalibration enables the observatory's feedback loop: learned
+	// per-class correction factors are applied inside cost estimation,
+	// cached plans are invalidated when a factor drifts, and the
+	// plan-regression sentinel tracks decision changes. Results are
+	// never affected — only plan choice. Implies the observatory.
+	CostCalibration bool
 }
 
 // Engine is a VAMANA instance: one MASS store plus the query pipeline.
@@ -94,6 +104,8 @@ type Engine struct {
 	traceSeq atomic.Uint64
 	// execBatch is Options.ExecBatch, stamped on every run's exec.Context.
 	execBatch int
+	// cost is the est-vs-act accuracy observatory; nil when disabled.
+	cost *CostObservatory
 }
 
 // Open creates or reopens an engine.
@@ -110,6 +122,9 @@ func Open(opts Options) (*Engine, error) {
 	e := &Engine{store: s, probes: cost.NewMemoProbes(s), execBatch: opts.ExecBatch}
 	if opts.PlanCacheSize >= 0 {
 		e.plans = newPlanCache(opts.PlanCacheSize)
+	}
+	if !opts.DisableCostObservatory {
+		e.cost = newCostObservatory(s, opts.CostCalibration)
 	}
 	e.finishFn = e.queryFinished
 	if opts.SlowQueryThreshold > 0 {
@@ -180,10 +195,12 @@ func (e *Engine) CompileOptimized(doc mass.DocID, expr string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	defPlan := q.plan
 	o := &opt.Optimizer{
-		Store:  e.store,
-		Doc:    doc,
-		Probes: e.probes,
+		Store:     e.store,
+		Doc:       doc,
+		Probes:    e.probes,
+		Calibrate: e.calibrateFn(),
 		Trace: func(format string, args ...any) {
 			q.trace = append(q.trace, fmt.Sprintf(format, args...))
 		},
@@ -194,6 +211,18 @@ func (e *Engine) CompileOptimized(doc mass.DocID, expr string) (*Query, error) {
 	}
 	q.plan = optPlan
 	q.optimized = true
+	// Plan-regression sentinel: once calibration has learned a real
+	// correction, also optimize under raw costs and count compiles where
+	// the two cost models rank different plans cheapest. Compile misses
+	// are rare enough that the second optimization (probe-memoized) is
+	// in the noise.
+	if e.cost != nil && e.cost.calibrating && e.cost.calibrationActive() {
+		raw := &opt.Optimizer{Store: e.store, Doc: doc, Probes: e.probes}
+		if rawPlan, rerr := raw.Optimize(defPlan); rerr == nil && planShape(rawPlan) != planShape(optPlan) {
+			e.cost.regressions.Add(1)
+			obs.CostPlanRegressions.Inc()
+		}
+	}
 	return q, nil
 }
 
@@ -360,6 +389,14 @@ func (e *Engine) queryFinished(it *exec.Iterator) {
 		// The unsampled cache-hit fast path carries the shared Query.
 		expr, hit = o.expr, true
 	}
+	// Fold the run's actual per-step cardinalities against the plan's
+	// estimates — every query feeds the cost observatory, not only the
+	// sampled ones. Allocation-free on the steady path.
+	var worstOp *plan.Step
+	var worstQ float64
+	if e.cost != nil {
+		worstOp, worstQ = e.cost.fold(it, it.Doc(), expr)
+	}
 	if e.slow != nil && total >= e.slow.threshold {
 		obs.SlowQueries.Inc()
 		sq := SlowQuery{
@@ -378,6 +415,12 @@ func (e *Engine) queryFinished(it *exec.Iterator) {
 		}
 		if tc != nil && tc.traced {
 			sq.TraceID = tc.ID
+		}
+		// Name the worst-misestimated operator so a slow query points
+		// straight at the cost-model miss that may have caused it.
+		if worstOp != nil && worstQ >= 2 {
+			sq.WorstOp = worstOp.Label()
+			sq.WorstQErr = worstQ
 		}
 		e.slow.record(sq)
 	}
@@ -418,6 +461,25 @@ func (e *Engine) SlowQueries() []SlowQuery {
 		return nil
 	}
 	return e.slow.snapshot()
+}
+
+// calibrateFn returns the cost-correction hook for this engine's
+// estimations: nil unless Options.CostCalibration is on.
+func (e *Engine) calibrateFn() func(*plan.Step, uint64) uint64 {
+	if e.cost != nil && e.cost.calibrating {
+		return e.cost.calibrateStep
+	}
+	return nil
+}
+
+// CostProfile snapshots the cost-model observatory: per-operator-class
+// q-error profiles, worst offenders, and calibration state. The second
+// return is false when the observatory is disabled.
+func (e *Engine) CostProfile() (CostProfile, bool) {
+	if e.cost == nil {
+		return CostProfile{}, false
+	}
+	return e.cost.Profile(), true
 }
 
 // CacheStats reports plan-cache and statistics-memo counters.
@@ -476,6 +538,9 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 			return err
 		}
 	}
+	if e.cost != nil {
+		e.cost.Profile().writeProm(w)
+	}
 	return nil
 }
 
@@ -499,7 +564,7 @@ func (q *Query) Trace() []string { return q.trace }
 // engine's plan cache share one Query across a serving fleet).
 func (q *Query) Estimate(doc mass.DocID) (*plan.Plan, error) {
 	p := q.plan.Clone()
-	est := &cost.Estimator{Store: q.engine.probes, Doc: doc}
+	est := &cost.Estimator{Store: q.engine.probes, Doc: doc, Calibrate: q.engine.calibrateFn()}
 	if err := est.Estimate(p); err != nil {
 		return nil, err
 	}

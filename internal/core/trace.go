@@ -69,6 +69,12 @@ type SlowQuery struct {
 	// TraceID links the entry to its flight-recorder trace (Engine.
 	// Traces), zero when the query was not traced.
 	TraceID uint64
+	// WorstOp names the query's worst-misestimated operator (largest
+	// q-error, when at least 2x) and WorstQErr its q-error — the cost
+	// observatory's pointer at a possible mis-planning cause. Empty/zero
+	// when the observatory is off or every estimate was within 2x.
+	WorstOp   string
+	WorstQErr float64
 	// Err is the run's terminal error, if any — a governance trip
 	// (canceled, deadline, budget) or an execution failure. A slow entry
 	// with a deadline error is the signature of a query killed by its
@@ -98,12 +104,16 @@ func (l *slowLog) record(sq SlowQuery) {
 	w := l.w
 	l.mu.Unlock()
 	if w != nil {
+		miscost := ""
+		if sq.WorstOp != "" {
+			miscost = fmt.Sprintf(" worstop=%q qerr=%.1f", sq.WorstOp, sq.WorstQErr)
+		}
 		if sq.Err != nil {
-			fmt.Fprintf(w, "slow query: %s doc=%d total=%v results=%d cached=%v pages=%d records=%d cachehits=%d err=%q\n",
-				sq.Expr, sq.Doc, sq.Total, sq.Results, sq.CacheHit, sq.PagesRead, sq.RecordsDecoded, sq.NodeCacheHits, sq.Err)
+			fmt.Fprintf(w, "slow query: %s doc=%d total=%v results=%d cached=%v pages=%d records=%d cachehits=%d%s err=%q\n",
+				sq.Expr, sq.Doc, sq.Total, sq.Results, sq.CacheHit, sq.PagesRead, sq.RecordsDecoded, sq.NodeCacheHits, miscost, sq.Err)
 		} else {
-			fmt.Fprintf(w, "slow query: %s doc=%d total=%v results=%d cached=%v pages=%d records=%d cachehits=%d\n",
-				sq.Expr, sq.Doc, sq.Total, sq.Results, sq.CacheHit, sq.PagesRead, sq.RecordsDecoded, sq.NodeCacheHits)
+			fmt.Fprintf(w, "slow query: %s doc=%d total=%v results=%d cached=%v pages=%d records=%d cachehits=%d%s\n",
+				sq.Expr, sq.Doc, sq.Total, sq.Results, sq.CacheHit, sq.PagesRead, sq.RecordsDecoded, sq.NodeCacheHits, miscost)
 		}
 	}
 }

@@ -670,6 +670,26 @@ func (it *Iterator) Stats() []OpStats {
 	return out
 }
 
+// NumSteps reports how many step operators the run registered. Together
+// with StepStat it is the allocation-free counterpart of Stats, for
+// hot-path consumers (the cost observatory) that fold per-step counters
+// on every query. Valid until the iterator is released (within an
+// OnFinish hook, or before Close).
+func (it *Iterator) NumSteps() int { return len(it.env.steps) }
+
+// StepStat returns the i'th step's actual counters without allocating.
+// Indexes follow the same order as Stats.
+func (it *Iterator) StepStat(i int) OpStats {
+	s := it.env.steps[i]
+	in := s.nIn
+	if s.child == nil {
+		// Leaf operators: IN is the tuples received from the index
+		// (Case 1), matching Stats.
+		in = s.nScanned
+	}
+	return OpStats{Op: s.op, In: in, Scanned: s.nScanned, Out: s.nOut}
+}
+
 // StepSpan is one step operator's recorded execution span, produced on
 // traced runs (Context.Trace). Offsets are nanoseconds on the run's trace
 // clock (Context.FinishStart). PagesRead and RecordsDecoded are inclusive

@@ -468,6 +468,17 @@ func (s *Store) Epoch(d DocID) uint64 {
 // a spurious bump only costs one redundant recomputation.
 func (s *Store) bumpEpochLocked(d DocID) { s.epochs[d]++ }
 
+// BumpEpoch advances the document's statistics epoch without a data
+// mutation, dropping cached plans and memoized probes derived from it.
+// The cost-calibration feedback loop calls this when a correction factor
+// drifts far enough that plans costed under the old factor should be
+// re-optimized on their next lookup.
+func (s *Store) BumpEpoch(d DocID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bumpEpochLocked(d)
+}
+
 // DocID resolves a document name.
 func (s *Store) DocID(name string) (DocID, bool) {
 	s.mu.Lock()

@@ -27,6 +27,19 @@ var (
 	TracesSampled = NewCounter("vamana_traces_sampled_total",
 		"Queries that carried a sampled TraceContext.")
 
+	// Cost-model observatory: est-vs-act cardinality accuracy and the
+	// calibration feedback loop. Per-class q-error profiles are
+	// per-engine (core.Engine.CostProfile); these are the process-wide
+	// roll-ups.
+	CostObservations = NewCounter("vamana_cost_observations_total",
+		"Per-operator estimated-vs-actual cardinality pairs folded into q-error profiles.")
+	CostUnderestimates = NewCounter("vamana_cost_underestimates_total",
+		"Observations where the actual cardinality exceeded the estimate (upper-bound miss).")
+	CostCalibrationBumps = NewCounter("vamana_cost_calibration_epoch_bumps_total",
+		"Statistics-epoch bumps triggered by calibration-factor drift.")
+	CostPlanRegressions = NewCounter("vamana_cost_plan_regressions_total",
+		"Compiles where calibrated costs ranked a different plan cheapest than raw costs.")
+
 	// Governance layer: how query runs were stopped early. Classified at
 	// run finish from the iterator's terminal error.
 	QueriesCanceled = NewCounter("vamana_queries_canceled_total",

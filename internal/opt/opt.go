@@ -38,6 +38,10 @@ type Optimizer struct {
 	// Trace, when non-nil, receives a line per optimization decision —
 	// surfaced by the engine's EXPLAIN facility.
 	Trace func(format string, args ...any)
+	// Calibrate is threaded into the cost estimator (see
+	// cost.Estimator.Calibrate) so rewrite acceptance ranks candidates
+	// under the same corrected estimates the serving path reports on.
+	Calibrate func(s *plan.Step, out uint64) uint64
 }
 
 const defaultMaxIterations = 16
@@ -58,7 +62,7 @@ func (o *Optimizer) Optimize(p *plan.Plan) (*plan.Plan, error) {
 	if probes == nil {
 		probes = o.Store
 	}
-	est := &cost.Estimator{Store: probes, Doc: o.Doc}
+	est := &cost.Estimator{Store: probes, Doc: o.Doc, Calibrate: o.Calibrate}
 
 	Cleanup(q)
 	for iter := 0; iter < maxIter; iter++ {
@@ -102,6 +106,11 @@ func (o *Optimizer) applyOne(q *plan.Plan, rules []Rule, est *cost.Estimator) (b
 			if !ok {
 				continue
 			}
+			// Tag the rewritten subtree with the rule's name before
+			// costing, so calibration factors keyed on provenance apply to
+			// the candidate the same way they will to the committed plan.
+			// Rejected candidates are discarded, so stamping is free.
+			stampProvenance(candidate, r.Name)
 			// Dynamic costing of the transformed subtree only — "this is
 			// inexpensive compared to costing the entire query plan"
 			// (§VI-C).
@@ -120,6 +129,19 @@ func (o *Optimizer) applyOne(q *plan.Plan, rules []Rule, est *cost.Estimator) (b
 		}
 	}
 	return false, nil
+}
+
+// stampProvenance records the rewrite rule on every step of a candidate
+// subtree that no earlier rule claimed (steps cloned from the original
+// plan carry an empty Prov; steps moved by a previous iteration keep the
+// rule that first touched them).
+func stampProvenance(op plan.Op, rule string) {
+	if s, ok := op.(*plan.Step); ok && s.Prov == "" {
+		s.Prov = rule
+	}
+	for _, c := range op.Children() {
+		stampProvenance(c, rule)
+	}
 }
 
 func (o *Optimizer) tracef(format string, args ...any) {

@@ -317,26 +317,35 @@ func TestMetricsOverheadGate(t *testing.T) {
 	// alternating), and the gate checks the median of the per-round
 	// ratios. Pairing cancels the slow machine-level drift (CPU frequency,
 	// co-tenant load) that dominates absolute ns/op on shared hardware.
-	const rounds = 7
-	ratios := make([]float64, 0, rounds)
-	offBest, onBest := math.MaxFloat64, math.MaxFloat64
-	for i := 0; i < rounds; i++ {
-		var off, on float64
-		if i%2 == 0 {
-			off, on = measure(false), measure(true)
-		} else {
-			on, off = measure(true), measure(false)
+	// Several attempts (matching the trace/calibration gates) so a single
+	// noisy campaign cannot fail the gate — only a persistent regression.
+	const (
+		rounds   = 7
+		attempts = 3
+	)
+	var median float64
+	for attempt := 1; attempt <= attempts; attempt++ {
+		ratios := make([]float64, 0, rounds)
+		offBest, onBest := math.MaxFloat64, math.MaxFloat64
+		for i := 0; i < rounds; i++ {
+			var off, on float64
+			if i%2 == 0 {
+				off, on = measure(false), measure(true)
+			} else {
+				on, off = measure(true), measure(false)
+			}
+			ratios = append(ratios, on/off)
+			offBest, onBest = min(offBest, off), min(onBest, on)
 		}
-		ratios = append(ratios, on/off)
-		offBest, onBest = min(offBest, off), min(onBest, on)
+		sort.Float64s(ratios)
+		median = ratios[rounds/2]
+		t.Logf("attempt %d: warm serving ns/op: best off %.0f, best on %.0f; per-round ratios %v, median %.3f",
+			attempt, offBest, onBest, ratios, median)
+		if median <= 1.05 {
+			return
+		}
 	}
-	sort.Float64s(ratios)
-	median := ratios[rounds/2]
-	t.Logf("warm serving ns/op: best off %.0f, best on %.0f; per-round ratios %v, median %.3f",
-		offBest, onBest, ratios, median)
-	if median > 1.05 {
-		t.Errorf("metrics overhead %.1f%% exceeds the 5%% budget", 100*(median-1))
-	}
+	t.Errorf("metrics overhead %.1f%% exceeds the 5%% budget on all %d attempts", 100*(median-1), attempts)
 }
 
 // TestMetricsExposition checks the Prometheus-text endpoint and the

@@ -5,6 +5,17 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== no generated bench output tracked"
+# Benchmark sweeps write vbench_output.txt / scripts/out locally; they
+# are scratch artifacts and must never land in the tree.
+tracked=$(git ls-files --cached -- 'vbench_output.txt' 'scripts/out' | head -5)
+staged=$(git diff --cached --name-only -- 'vbench_output.txt' 'scripts/out' | head -5)
+if [ -n "$tracked$staged" ]; then
+    echo "generated bench output is tracked or staged:" >&2
+    printf '%s\n%s\n' "$tracked" "$staged" | sed '/^$/d' >&2
+    exit 1
+fi
+
 echo "== gofmt"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -70,5 +81,16 @@ echo "== batch throughput gate (batched vs tuple-at-a-time scan drains, 1.5x flo
 # >= 1.5x tuple-at-a-time on scan-heavy shapes — see
 # TestBatchThroughputGate.
 VAMANA_BATCH_GATE=1 go test -run '^TestBatchThroughputGate$' -v -count 1 -timeout 20m .
+
+echo "== cost-observatory tests under the race detector"
+# Concurrent accumulator folds, calibration EWMA CASes, epoch-bump
+# invalidation, and the on/off differential harness — the observatory's
+# correctness battery, run with -race on top of the plain ./... pass.
+go test -race -run 'TestCostObservatory|TestCostCalibration|TestCalibrationDifferential|TestSlowQueryWorstOp' -count 1 .
+
+echo "== calibration overhead gate (observatory on vs off, 1% budget, zero-alloc pin)"
+# Allocation pin plus interleaved best-of-rounds timing — see
+# TestCalibrationOverheadGate.
+VAMANA_CALIBRATION_GATE=1 go test -run '^TestCalibrationOverheadGate$' -v -count 1 -timeout 20m .
 
 echo "OK"

@@ -112,6 +112,19 @@ type Options struct {
 	// exists for benchmarking the batch sweep and for differential
 	// testing, not for tuning production workloads.
 	ExecBatchSize int
+	// DisableCostObservatory turns off the cost-model observatory: the
+	// per-query fold of actual operator cardinalities against the
+	// optimizer's estimates (DB.CostProfile, /debug/vamana/cost). The
+	// fold is allocation-free and costs well under 1% of serving
+	// latency, so this knob exists for benchmark pairing, not tuning.
+	DisableCostObservatory bool
+	// CostCalibration enables the observatory's feedback loop: each
+	// operator class's observed estimation error feeds an EWMA
+	// correction factor that the cost estimator applies on subsequent
+	// compiles, and cached plans are invalidated when a factor drifts.
+	// Query results are never affected — calibration can only change
+	// which equivalent plan runs. Off by default.
+	CostCalibration bool
 }
 
 // TraceContext is a sampled per-query execution trace: compile-vs-serve
@@ -150,17 +163,19 @@ type DB struct {
 // Open creates or reopens a database.
 func Open(opts Options) (*DB, error) {
 	e, err := core.Open(core.Options{
-		Path:                  opts.Path,
-		CachePages:            opts.CachePages,
-		Backend:               opts.Backend,
-		DisableChecksumVerify: opts.DisableChecksumVerify,
-		PlanCacheSize:         opts.PlanCacheSize,
-		SlowQueryThreshold:    opts.SlowQueryThreshold,
-		SlowQueryLog:          opts.SlowQueryLog,
-		TraceEvery:            opts.TraceEvery,
-		TraceSink:             opts.TraceSink,
-		FlightRecorderSize:    opts.FlightRecorderSize,
-		ExecBatch:             opts.ExecBatchSize,
+		Path:                   opts.Path,
+		CachePages:             opts.CachePages,
+		Backend:                opts.Backend,
+		DisableChecksumVerify:  opts.DisableChecksumVerify,
+		PlanCacheSize:          opts.PlanCacheSize,
+		SlowQueryThreshold:     opts.SlowQueryThreshold,
+		SlowQueryLog:           opts.SlowQueryLog,
+		TraceEvery:             opts.TraceEvery,
+		TraceSink:              opts.TraceSink,
+		FlightRecorderSize:     opts.FlightRecorderSize,
+		ExecBatch:              opts.ExecBatchSize,
+		DisableCostObservatory: opts.DisableCostObservatory,
+		CostCalibration:        opts.CostCalibration,
 	})
 	if err != nil {
 		return nil, err
@@ -339,6 +354,22 @@ func (db *DB) RecentTraces() []*QueryTrace { return db.engine.Traces() }
 // format: the process-global execution and serving metrics followed by
 // this database's storage and cache counters.
 func (db *DB) WriteMetrics(w io.Writer) error { return db.engine.WriteMetrics(w) }
+
+// CostProfile is a snapshot of the cost-model observatory: q-error
+// accuracy profiles per operator class, worst offenders, and
+// calibration state.
+type CostProfile = core.CostProfile
+
+// CostClassProfile summarizes one operator class (axis × rewrite-rule
+// provenance) in a CostProfile.
+type CostClassProfile = core.CostClassProfile
+
+// CostOffender is the worst-misestimated observation kept per class.
+type CostOffender = core.CostOffender
+
+// CostProfile returns the observatory's current snapshot. The second
+// return is false when Options.DisableCostObservatory was set.
+func (db *DB) CostProfile() (CostProfile, bool) { return db.engine.CostProfile() }
 
 // MetricsHandler returns an HTTP handler serving WriteMetrics — mount it
 // on a mux (or pass to http.ListenAndServe) to expose the database's
