@@ -1,10 +1,14 @@
-// Updates: demonstrates in-place document updates and the property the
-// paper builds its cost model on — statistics that are exact immediately
-// after every insert, update and delete, with no histogram maintenance
-// (§I: "cost accuracy is not affected by updates, inserts and deletes").
+// Updates: demonstrates transactional document updates and the property
+// the paper builds its cost model on — statistics that are exact
+// immediately after every insert, update and delete, with no histogram
+// maintenance (§I: "cost accuracy is not affected by updates, inserts
+// and deletes"). Mutations batch through DB.Update: each call commits
+// atomically (all-or-nothing on error), and concurrent readers keep
+// serving the previous committed state until the commit lands.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,44 +26,39 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	q, err := db.Compile("//catalog")
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := q.Execute(doc)
-	if err != nil {
-		log.Fatal(err)
-	}
-	keys, err := res.Keys()
-	if err != nil {
-		log.Fatal(err)
-	}
-	catalog := keys[0]
+	catalog := query(db, doc, "//catalog")[0]
 
-	// Grow the document through the update API.
-	fmt.Println("inserting 1000 products...")
-	for i := 0; i < 1000; i++ {
-		product, err := doc.InsertElement(catalog, -1, "product")
-		if err != nil {
-			log.Fatal(err)
+	// Grow the document inside one transaction: a thousand products
+	// become visible — and durable — as a single committed version.
+	fmt.Println("inserting 1000 products in one transaction...")
+	err = db.Update(func(tx *vamana.Txn) error {
+		for i := 0; i < 1000; i++ {
+			product, err := tx.InsertElement(doc, catalog, -1, "product")
+			if err != nil {
+				return err
+			}
+			if _, err := tx.InsertAttribute(doc, product, "sku", fmt.Sprintf("SKU-%04d", i)); err != nil {
+				return err
+			}
+			name, err := tx.InsertElement(doc, product, -1, "name")
+			if err != nil {
+				return err
+			}
+			if _, err := tx.InsertText(doc, name, -1, fmt.Sprintf("Product %d", i)); err != nil {
+				return err
+			}
+			status, err := tx.InsertElement(doc, product, -1, "status")
+			if err != nil {
+				return err
+			}
+			if _, err := tx.InsertText(doc, status, -1, pick(i)); err != nil {
+				return err
+			}
 		}
-		if _, err := doc.InsertAttribute(product, "sku", fmt.Sprintf("SKU-%04d", i)); err != nil {
-			log.Fatal(err)
-		}
-		name, err := doc.InsertElement(product, -1, "name")
-		if err != nil {
-			log.Fatal(err)
-		}
-		if _, err := doc.InsertText(name, -1, fmt.Sprintf("Product %d", i)); err != nil {
-			log.Fatal(err)
-		}
-		status, err := doc.InsertElement(product, -1, "status")
-		if err != nil {
-			log.Fatal(err)
-		}
-		if _, err := doc.InsertText(status, -1, pick(i)); err != nil {
-			log.Fatal(err)
-		}
+		return nil // commit; returning an error would roll all of it back
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 	report(doc, "after inserts")
 
@@ -67,24 +66,31 @@ func main() {
 	discontinued := query(db, doc, "//product[status='discontinued']")
 	fmt.Printf("discontinued products: %d\n\n", len(discontinued))
 
-	// Flip some statuses and delete the discontinued stock.
+	// Flip some statuses and delete the discontinued stock — again one
+	// atomic commit for the whole batch.
 	fmt.Println("updating 100 statuses, deleting discontinued products...")
 	active := query(db, doc, "//product[status='active']/status/text()")
-	for i := 0; i < 100 && i < len(active); i++ {
-		if err := doc.UpdateText(active[i], "backorder"); err != nil {
-			log.Fatal(err)
+	err = db.Update(func(tx *vamana.Txn) error {
+		for i := 0; i < 100 && i < len(active); i++ {
+			if err := tx.UpdateText(doc, active[i], "backorder"); err != nil {
+				return err
+			}
 		}
-	}
-	for _, k := range discontinued {
-		if err := doc.DeleteSubtree(k); err != nil {
-			log.Fatal(err)
+		for _, k := range discontinued {
+			if err := tx.DeleteSubtree(doc, k); err != nil {
+				return err
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 	report(doc, "after updates and deletes")
 
 	// The optimizer consumes the same live statistics: explain a value
 	// query and watch TC drive the plan.
-	qe, err := db.CompileOptimized(doc, "//product[status='backorder']")
+	qe, err := db.Prepare("//product[status='backorder']", vamana.WithDocument(doc), vamana.WithoutCache())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,11 +113,11 @@ func pick(i int) string {
 }
 
 func query(db *vamana.DB, doc *vamana.Document, expr string) []string {
-	q, err := db.Compile(expr)
+	q, err := db.Prepare(expr, vamana.WithDocument(doc))
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := q.Execute(doc)
+	res, err := q.Run(context.Background(), doc)
 	if err != nil {
 		log.Fatal(err)
 	}

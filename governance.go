@@ -55,7 +55,14 @@ type Limits = govern.Limits
 type QueryOption func(*queryConfig)
 
 type queryConfig struct {
-	limits Limits
+	limits  Limits
+	ordered bool
+	// start/vars are the run's initial context node and variable
+	// bindings; fromSet records that From was supplied (distinguishing
+	// an explicit empty key from the default document root).
+	start   string
+	vars    map[string][]string
+	fromSet bool
 }
 
 // config resolves the DB's default limits plus per-query options.
@@ -98,6 +105,22 @@ func WithLimits(l Limits) QueryOption {
 	return func(c *queryConfig) { c.limits = l }
 }
 
+// Ordered delivers the run's results in document order. The result set
+// is materialized and sorted before delivery, so budgets and
+// cancellation apply while it is being built; omit it when streaming
+// delivery matters more than ordering (reverse axes otherwise stream in
+// axis order).
+func Ordered() QueryOption {
+	return func(c *queryConfig) { c.ordered = true }
+}
+
+// From starts the run at an explicit initial context node — a FLEX key
+// previously obtained from a result — instead of the document root, with
+// optional variable bindings for $name references (nil for none).
+func From(startKey string, vars map[string][]string) QueryOption {
+	return func(c *queryConfig) { c.start = startKey; c.vars = vars; c.fromSet = true }
+}
+
 // QueryContext is Query under governance: the run observes ctx's
 // cancellation and deadline end to end — the operator pull loop, the MASS
 // axis cursors and the B+-tree seeks all poll it, amortized so the
@@ -111,6 +134,26 @@ func WithLimits(l Limits) QueryOption {
 // index cursors) are released.
 func (db *DB) QueryContext(ctx context.Context, doc *Document, expr string, opts ...QueryOption) (*Results, error) {
 	cfg := db.config(opts)
+	// A snapshot-bound handle always queries its snapshot's pinned
+	// version.
+	if doc.snap != nil {
+		if doc.snap.closed.Load() {
+			return nil, ErrSnapshotClosed
+		}
+		return doc.snap.queryContext(ctx, doc, expr, cfg)
+	}
+	// Auto-snapshot: serve from the shared snapshot when one is fresh,
+	// so a long result stream never observes a concurrent writer
+	// mid-flight. The temporary reference covers query startup; from
+	// then on the iterator holds its own pin until it finishes.
+	if sn := db.acquireShared(); sn != nil {
+		it, err := sn.QueryContext(ctx, doc.id, expr, cfg.limits)
+		sn.Unref()
+		if err != nil {
+			return nil, err
+		}
+		return &Results{doc: doc, it: it}, nil
+	}
 	it, err := db.engine.QueryContext(ctx, doc.id, expr, cfg.limits)
 	if err != nil {
 		return nil, err
@@ -119,35 +162,24 @@ func (db *DB) QueryContext(ctx context.Context, doc *Document, expr string, opts
 }
 
 // ExecuteContext is Execute under governance (see DB.QueryContext).
+//
+// Deprecated: use Run (same signature and behavior).
 func (q *Query) ExecuteContext(ctx context.Context, doc *Document, opts ...QueryOption) (*Results, error) {
-	cfg := doc.db.config(opts)
-	it, err := q.q.ExecuteContext(ctx, doc.id, cfg.limits)
-	if err != nil {
-		return nil, err
-	}
-	return &Results{doc: doc, it: it}, nil
+	return q.Run(ctx, doc, opts...)
 }
 
-// ExecuteOrderedContext is ExecuteOrdered under governance. The result
-// set is materialized before delivery, so cancellation and budgets apply
-// while it is being built.
+// ExecuteOrderedContext is ExecuteOrdered under governance.
+//
+// Deprecated: use Run with Ordered.
 func (q *Query) ExecuteOrderedContext(ctx context.Context, doc *Document, opts ...QueryOption) (*Results, error) {
-	cfg := doc.db.config(opts)
-	it, err := q.q.ExecuteOrderedContext(ctx, doc.id, cfg.limits)
-	if err != nil {
-		return nil, err
-	}
-	return &Results{doc: doc, it: it}, nil
+	return q.Run(ctx, doc, append(opts, Ordered())...)
 }
 
 // ExecuteFromContext is ExecuteFrom under governance.
+//
+// Deprecated: use Run with From.
 func (q *Query) ExecuteFromContext(ctx context.Context, doc *Document, startKey string, vars map[string][]string, opts ...QueryOption) (*Results, error) {
-	cfg := doc.db.config(opts)
-	it, err := q.q.ExecuteFromContext(ctx, doc.id, flexKey(startKey), flexVars(vars), cfg.limits)
-	if err != nil {
-		return nil, err
-	}
-	return &Results{doc: doc, it: it}, nil
+	return q.Run(ctx, doc, append(opts, From(startKey, vars))...)
 }
 
 // wrapNoDoc translates the storage layer's unknown-document error into

@@ -29,10 +29,27 @@ import (
 // ErrKeyTooLarge is returned by Put for keys exceeding the maximum size.
 var ErrKeyTooLarge = errors.New("btree: key exceeds maximum size")
 
+// Pages is the page-storage surface a tree runs on: the full read-write
+// *pager.Pager for live trees, or a read-only epoch-pinned *pager.View
+// for snapshot trees (whose mutating methods fail, which a read-only
+// tree never invokes).
+type Pages interface {
+	Read(id pager.PageID, buf []byte) error
+	Write(id pager.PageID, buf []byte) error
+	Allocate() (pager.PageID, error)
+	Free(id pager.PageID) error
+	InMemory() bool
+}
+
+var (
+	_ Pages = (*pager.Pager)(nil)
+	_ Pages = (*pager.View)(nil)
+)
+
 // Tree is a counted B+-tree. Create with New or attach to an existing root
 // with Load.
 type Tree struct {
-	pg   *pager.Pager
+	pg   Pages
 	root pager.PageID
 
 	cache    map[pager.PageID]*node
@@ -74,7 +91,7 @@ func (m *Metrics) Add(o Metrics) {
 const defaultMaxCache = 1024
 
 // New creates an empty tree whose pages are allocated from pg.
-func New(pg *pager.Pager) (*Tree, error) {
+func New(pg Pages) (*Tree, error) {
 	t := newTree(pg)
 	root := t.newNode(true)
 	t.root = root.id
@@ -83,7 +100,7 @@ func New(pg *pager.Pager) (*Tree, error) {
 
 // Load attaches to the tree rooted at root, as previously reported by
 // Root().
-func Load(pg *pager.Pager, root pager.PageID) (*Tree, error) {
+func Load(pg Pages, root pager.PageID) (*Tree, error) {
 	if root == pager.InvalidPage {
 		return nil, errors.New("btree: invalid root page")
 	}
@@ -95,7 +112,7 @@ func Load(pg *pager.Pager, root pager.PageID) (*Tree, error) {
 	return t, nil
 }
 
-func newTree(pg *pager.Pager) *Tree {
+func newTree(pg Pages) *Tree {
 	mc := defaultMaxCache
 	if pg.InMemory() {
 		mc = 1 << 30
@@ -202,6 +219,29 @@ func (t *Tree) Flush() error {
 		}
 	}
 	return nil
+}
+
+// AdoptCache seeds t's node cache with prev's entries, skipping page ids
+// for which skip returns true (nil skips nothing). It exists for
+// adjacent read-only snapshot trees: when the only pages that changed
+// between two committed versions are in the skip set, every other page
+// is byte-identical, so the previous snapshot's decoded nodes are valid
+// for the new one and carry over by pointer — a fresh snapshot starts
+// with a warm cache instead of re-decoding its working set from scratch.
+// Sharing *node objects is safe only because read-only trees never
+// mutate a node after deserializing it; the caller must serialize access
+// to both trees for the duration of the call.
+func (t *Tree) AdoptCache(prev *Tree, skip func(pager.PageID) bool) {
+	for id, n := range prev.cache {
+		if n.dirty || (skip != nil && skip(id)) {
+			continue
+		}
+		if _, ok := t.cache[id]; ok {
+			continue
+		}
+		t.cache[id] = n
+		t.clock = append(t.clock, n)
+	}
 }
 
 // maybeEvict trims the cache after a public operation completes. It is

@@ -303,7 +303,7 @@ func TestOverflowValues(t *testing.T) {
 	}
 	// Replace the big value with a small one; the chain must be freed and
 	// its pages recycled.
-	pg := tr.pg
+	pg := tr.pg.(*pager.Pager)
 	before := pg.NumPages()
 	if _, err := tr.Put([]byte("big"), []byte("now small")); err != nil {
 		t.Fatal(err)

@@ -191,15 +191,22 @@ func (e *Engine) Compile(expr string) (*Query, error) {
 // CompileOptimized parses expr and runs the cost-driven optimizer against
 // doc's live statistics — "VQP-OPT".
 func (e *Engine) CompileOptimized(doc mass.DocID, expr string) (*Query, error) {
+	return e.compileOptimizedOn(e.store, e.probes, doc, expr)
+}
+
+// compileOptimizedOn is CompileOptimized parameterized by the store and
+// statistics memo the optimizer probes — the engine's own for live
+// compiles, a snapshot's frozen pair for snapshot compiles.
+func (e *Engine) compileOptimizedOn(st *mass.Store, probes *cost.MemoProbes, doc mass.DocID, expr string) (*Query, error) {
 	q, err := e.Compile(expr)
 	if err != nil {
 		return nil, err
 	}
 	defPlan := q.plan
 	o := &opt.Optimizer{
-		Store:     e.store,
+		Store:     st,
 		Doc:       doc,
-		Probes:    e.probes,
+		Probes:    probes,
 		Calibrate: e.calibrateFn(),
 		Trace: func(format string, args ...any) {
 			q.trace = append(q.trace, fmt.Sprintf(format, args...))
@@ -217,7 +224,7 @@ func (e *Engine) CompileOptimized(doc mass.DocID, expr string) (*Query, error) {
 	// are rare enough that the second optimization (probe-memoized) is
 	// in the noise.
 	if e.cost != nil && e.cost.calibrating && e.cost.calibrationActive() {
-		raw := &opt.Optimizer{Store: e.store, Doc: doc, Probes: e.probes}
+		raw := &opt.Optimizer{Store: st, Doc: doc, Probes: probes}
 		if rawPlan, rerr := raw.Optimize(defPlan); rerr == nil && planShape(rawPlan) != planShape(optPlan) {
 			e.cost.regressions.Add(1)
 			obs.CostPlanRegressions.Inc()
@@ -239,13 +246,21 @@ func (e *Engine) CompileCached(doc mass.DocID, expr string, optimized bool) (*Qu
 // compileCached is CompileCached plus a report of whether the plan came
 // from the cache — the compile-vs-serve split the serving metrics track.
 func (e *Engine) compileCached(doc mass.DocID, expr string, optimized bool) (*Query, bool, error) {
-	if e.plans == nil {
+	return e.compileCachedOn(e.plans, e.store, e.probes, doc, expr, optimized)
+}
+
+// compileCachedOn is compileCached parameterized by the plan cache,
+// store, and statistics memo it consults. Snapshot queries pass the
+// snapshot's private triple: its epochs never move, so cached entries
+// stay valid for the snapshot's whole life.
+func (e *Engine) compileCachedOn(plans *planCache, st *mass.Store, probes *cost.MemoProbes, doc mass.DocID, expr string, optimized bool) (*Query, bool, error) {
+	if plans == nil {
 		var (
 			q   *Query
 			err error
 		)
 		if optimized {
-			q, err = e.CompileOptimized(doc, expr)
+			q, err = e.compileOptimizedOn(st, probes, doc, expr)
 		} else {
 			q, err = e.Compile(expr)
 		}
@@ -258,9 +273,9 @@ func (e *Engine) compileCached(doc mass.DocID, expr string, optimized bool) (*Qu
 		// Capture the epoch before compiling: if an update lands while the
 		// optimizer is probing, the entry records the pre-update epoch and
 		// the next lookup recompiles — conservative but always correct.
-		epoch = e.store.Epoch(doc)
+		epoch = st.Epoch(doc)
 	}
-	if q, ok := e.plans.get(k, epoch); ok {
+	if q, ok := plans.get(k, epoch); ok {
 		return q, true, nil
 	}
 	var (
@@ -268,14 +283,14 @@ func (e *Engine) compileCached(doc mass.DocID, expr string, optimized bool) (*Qu
 		err error
 	)
 	if optimized {
-		q, err = e.CompileOptimized(doc, expr)
+		q, err = e.compileOptimizedOn(st, probes, doc, expr)
 	} else {
 		q, err = e.Compile(expr)
 	}
 	if err != nil {
 		return nil, false, err
 	}
-	e.plans.put(k, q, epoch)
+	plans.put(k, q, epoch)
 	return q, false, nil
 }
 
@@ -599,6 +614,21 @@ func (q *Query) ExplainAnalyze(doc mass.DocID) (string, error) {
 	return fmt.Sprintf("query: %s\noptimized: %v\n", q.expr, q.optimized) + a.String(), nil
 }
 
+// RunContext executes the compiled query with every run parameter
+// explicit: the store to read (nil selects the engine's live store;
+// snapshot runs pass the snapshot's frozen store), the initial context
+// node ("" selects the document root), variable bindings, document-order
+// delivery, and governance. All Execute variants are shorthands for it.
+func (q *Query) RunContext(ctx context.Context, st *mass.Store, doc mass.DocID, start flex.Key, vars map[string][]flex.Key, ordered bool, limits govern.Limits) (*exec.Iterator, error) {
+	if err := govern.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	if st == nil {
+		st = q.engine.store
+	}
+	return exec.Run(q.plan, exec.Context{Store: st, Doc: doc, Start: start, Vars: vars, Ordered: ordered, Ctx: ctx, Limits: limits, Batch: q.engine.execBatch})
+}
+
 // Execute runs the query against doc with the document root as initial
 // context.
 func (q *Query) Execute(doc mass.DocID) (*exec.Iterator, error) {
@@ -607,10 +637,7 @@ func (q *Query) Execute(doc mass.DocID) (*exec.Iterator, error) {
 
 // ExecuteContext is Execute under governance (see Engine.QueryContext).
 func (q *Query) ExecuteContext(ctx context.Context, doc mass.DocID, limits govern.Limits) (*exec.Iterator, error) {
-	if err := govern.CheckContext(ctx); err != nil {
-		return nil, err
-	}
-	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Ctx: ctx, Limits: limits, Batch: q.engine.execBatch})
+	return q.RunContext(ctx, nil, doc, "", nil, false, limits)
 }
 
 // ExecuteOrdered runs the query and delivers the result set in document
@@ -621,10 +648,7 @@ func (q *Query) ExecuteOrdered(doc mass.DocID) (*exec.Iterator, error) {
 
 // ExecuteOrderedContext is ExecuteOrdered under governance.
 func (q *Query) ExecuteOrderedContext(ctx context.Context, doc mass.DocID, limits govern.Limits) (*exec.Iterator, error) {
-	if err := govern.CheckContext(ctx); err != nil {
-		return nil, err
-	}
-	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Ordered: true, Ctx: ctx, Limits: limits, Batch: q.engine.execBatch})
+	return q.RunContext(ctx, nil, doc, "", nil, true, limits)
 }
 
 // ExecuteFrom runs the query with an explicit initial context node — the
@@ -636,8 +660,5 @@ func (q *Query) ExecuteFrom(doc mass.DocID, start flex.Key, vars map[string][]fl
 
 // ExecuteFromContext is ExecuteFrom under governance.
 func (q *Query) ExecuteFromContext(ctx context.Context, doc mass.DocID, start flex.Key, vars map[string][]flex.Key, limits govern.Limits) (*exec.Iterator, error) {
-	if err := govern.CheckContext(ctx); err != nil {
-		return nil, err
-	}
-	return exec.Run(q.plan, exec.Context{Store: q.engine.store, Doc: doc, Start: start, Vars: vars, Ctx: ctx, Limits: limits, Batch: q.engine.execBatch})
+	return q.RunContext(ctx, nil, doc, start, vars, false, limits)
 }

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"vamana/internal/cost"
+	"vamana/internal/exec"
+	"vamana/internal/govern"
+	"vamana/internal/mass"
+	"vamana/internal/obs"
+)
+
+// Snapshots and transactions at the engine layer. An engine Snapshot
+// wraps a mass.Snapshot (a frozen, refcounted store view) with its own
+// query pipeline state: a private plan cache and statistics memo bound to
+// the snapshot's store. The snapshot's statistics epochs never move, so
+// its cached plans never invalidate and its memoized probes never reset —
+// a long-lived snapshot serves a repeated query at full cache-hit speed
+// no matter how hard the live store is being updated underneath.
+
+// snapshotPlanCacheSize bounds each snapshot's private plan cache.
+// Snapshots are expected to serve a small working set of queries; the
+// engine-level cache (shared, epoch-validated) stays the big one.
+const snapshotPlanCacheSize = 64
+
+// Snapshot is a frozen, refcounted view of the engine for consistent
+// reads. All query entry points work exactly like their Engine
+// counterparts but observe the snapshot's state; mutations are rejected
+// by the underlying read-only store.
+type Snapshot struct {
+	e  *Engine
+	ms *mass.Snapshot
+	st *mass.Store // ms.Store(), cached
+	// probes and plans are private to the snapshot: its epochs are
+	// frozen, so entries stay valid for the snapshot's whole life.
+	probes *cost.MemoProbes
+	plans  *planCache
+	// finishFn is the iterator finish hook, bound once so the per-query
+	// path does not allocate a method value.
+	finishFn func(*exec.Iterator)
+
+	queries atomic.Uint64
+	results atomic.Uint64
+	pages   atomic.Uint64
+	records atomic.Uint64
+}
+
+// SnapshotUsage aggregates the work served from one snapshot.
+type SnapshotUsage struct {
+	Queries        uint64 // iterators finished
+	Results        uint64 // result nodes delivered
+	PagesRead      uint64 // pager reads charged to snapshot queries
+	RecordsDecoded uint64 // clustered-index records decoded
+}
+
+// Snapshot freezes the engine's current committed state. The returned
+// snapshot must be Closed; queries still streaming when Close is called
+// keep the underlying view pinned until they finish.
+func (e *Engine) Snapshot() (*Snapshot, error) {
+	ms, err := e.store.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	st := ms.Store()
+	sn := &Snapshot{e: e, ms: ms, st: st, probes: cost.NewMemoProbes(st), plans: newPlanCache(snapshotPlanCacheSize)}
+	sn.finishFn = sn.queryFinished
+	return sn, nil
+}
+
+// wrapShared wraps a mass.Snapshot for the auto-snapshot serving path:
+// instead of private (frozen-forever) caches the snapshot reuses the
+// engine's epoch-validated plan cache and statistics memo. Because the
+// shared snapshot is always the newest committed state, its frozen
+// epochs match the live store's, so engine-cache entries hit across
+// commits for every document the commit did not touch — a writer
+// updating one document does not evict every other document's plans.
+// Entries stay epoch-validated, so even a snapshot gone stale compiles
+// correct (merely conservative) plans.
+func (e *Engine) wrapShared(ms *mass.Snapshot) *Snapshot {
+	st := ms.Store()
+	// plans is nil when caching is disabled; compile-per-call then.
+	sn := &Snapshot{e: e, ms: ms, st: st, probes: e.probes, plans: e.plans}
+	sn.finishFn = sn.queryFinished
+	return sn
+}
+
+// Store returns the snapshot's read-only store view.
+func (sn *Snapshot) Store() *mass.Store { return sn.st }
+
+// Gen reports the commit generation the snapshot captured; the snapshot
+// is the latest committed state exactly while the live store's CommitGen
+// has not moved past it.
+func (sn *Snapshot) Gen() uint64 { return sn.ms.Gen() }
+
+// Epoch reports the pinned pager version epoch.
+func (sn *Snapshot) Epoch() uint64 { return sn.ms.Epoch() }
+
+// TryRef acquires an additional reference if the snapshot is still live
+// (see mass.Snapshot.TryRef). Pair with Unref.
+func (sn *Snapshot) TryRef() bool { return sn.ms.TryRef() }
+
+// Unref releases a reference taken with TryRef.
+func (sn *Snapshot) Unref() { sn.ms.Unref() }
+
+// Usage reports the cumulative work served from this snapshot.
+func (sn *Snapshot) Usage() SnapshotUsage {
+	return SnapshotUsage{
+		Queries:        sn.queries.Load(),
+		Results:        sn.results.Load(),
+		PagesRead:      sn.pages.Load(),
+		RecordsDecoded: sn.records.Load(),
+	}
+}
+
+// Close releases the snapshot's creating reference. Idempotent; safe
+// while iterators opened from it are still streaming (the view stays
+// pinned until the last one finishes).
+func (sn *Snapshot) Close() error { return sn.ms.Close() }
+
+// Query is the snapshot's serving path: Engine.Query against the frozen
+// state.
+func (sn *Snapshot) Query(doc mass.DocID, expr string) (*exec.Iterator, error) {
+	return sn.QueryContext(context.Background(), doc, expr, govern.Limits{})
+}
+
+// QueryContext is Engine.QueryContext against the frozen state. Plans
+// compile against the snapshot's statistics and land in its private
+// cache, where they stay valid forever (the snapshot's epochs are
+// frozen). Every run is accounted so Usage can report storage work.
+func (sn *Snapshot) QueryContext(cctx context.Context, doc mass.DocID, expr string, limits govern.Limits) (*exec.Iterator, error) {
+	start := time.Now()
+	if err := govern.CheckContext(cctx); err != nil {
+		return nil, err
+	}
+	q, hit, err := sn.e.compileCachedOn(sn.plans, sn.st, sn.probes, doc, expr, true)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		obs.QueriesServedCached.Inc()
+	} else {
+		obs.QueriesCompiled.Inc()
+	}
+	ctx := exec.Context{
+		Store:       sn.st,
+		Doc:         doc,
+		Ctx:         cctx,
+		Limits:      limits,
+		OnFinish:    sn.finishFn,
+		FinishStart: start,
+		FinishObj:   q,
+		Batch:       sn.e.execBatch,
+		Account:     true,
+	}
+	return exec.Run(q.plan, ctx)
+}
+
+// queryFinished folds a finished snapshot query into the usage counters.
+func (sn *Snapshot) queryFinished(it *exec.Iterator) {
+	obs.QueryLatency.Observe(time.Since(it.StartTime()))
+	sn.queries.Add(1)
+	sn.results.Add(it.Results())
+	if lim := it.Limiter(); lim != nil {
+		sn.pages.Add(lim.PagesRead())
+		sn.records.Add(lim.DecodedRecords())
+	}
+}
+
+// Update runs fn inside a write transaction: all mutations made through
+// the passed mass.Update become visible atomically when fn returns nil,
+// and are rolled back without trace when it returns an error (or
+// panics). On success the commit is made durable through the
+// group-commit path and the published version epoch is returned.
+//
+// When install is non-nil the just-committed state is frozen as a shared
+// snapshot (engine caches, see wrapShared) and handed to install
+// atomically with the commit — before the store's commit generation
+// advances — so the auto-snapshot read path never sees a window where
+// its snapshot is stale but no replacement exists. install runs with the
+// store's writer lock held: it must only swap the snapshot in and
+// release the previous one.
+//
+// prev, when non-nil, is the shared snapshot currently installed; if it
+// is still the directly preceding committed state, the replacement
+// adopts its decoded-node caches for every page the commit left
+// untouched, so per-commit snapshots stay warm (see mass.CommitWith).
+func (e *Engine) Update(fn func(*mass.Update) error, prev *Snapshot, install func(*Snapshot)) (epoch uint64, err error) {
+	u, err := e.store.BeginUpdate()
+	if err != nil {
+		return 0, err
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			// fn panicked or errored: discard the batch. ErrTxnDone means
+			// fn finished the transaction itself — nothing left to undo.
+			if rerr := u.Rollback(); rerr != nil && !errors.Is(rerr, mass.ErrTxnDone) && err == nil {
+				err = rerr
+			}
+		}
+	}()
+	if err := fn(u); err != nil {
+		return 0, err
+	}
+	if install == nil {
+		epoch, err = u.Commit()
+	} else {
+		var prevMass *mass.Snapshot
+		if prev != nil {
+			prevMass = prev.ms
+		}
+		epoch, err = u.CommitWith(prevMass, func(ms *mass.Snapshot) {
+			install(e.wrapShared(ms))
+		})
+	}
+	if err != nil {
+		return 0, err
+	}
+	committed = true
+	if err := e.store.SyncCommitted(epoch); err != nil {
+		return epoch, err
+	}
+	return epoch, nil
+}

@@ -134,6 +134,7 @@ type Iterator struct {
 	err      error
 	done     bool
 	finished bool // finishRun already fired
+	pinned   bool // holds a store read registration (BeginRead) until finishRun
 
 	// Delivery buffer: Next serves tuples out of the last batch pulled
 	// from the pipeline root. out is carved from the run-state key slab;
@@ -260,6 +261,12 @@ func Run(p *plan.Plan, ctx Context) (*Iterator, error) {
 	}
 	root.reset(start)
 	it.root = root
+	// Register as an in-flight reader: on a live store this blocks
+	// DropDocument for the document being streamed; on a snapshot store
+	// it refs the owning snapshot so the pinned view outlives a
+	// concurrent Snapshot.Close. Released exactly once, in finishRun.
+	e.store.BeginRead(e.doc)
+	it.pinned = true
 	it.out = e.scratch(batch)
 	// The first refill pulls a single tuple — identical laziness to
 	// tuple-at-a-time for first-match consumers — and doubles from there,
@@ -437,6 +444,10 @@ func (it *Iterator) finishRun() {
 		return
 	}
 	it.finished = true
+	if it.pinned {
+		it.pinned = false
+		it.env.store.EndRead(it.env.doc)
+	}
 	if it.env.traced {
 		// Close any span still open (early termination, error, or an
 		// operator upstream of the failure) before the OnFinish hook reads

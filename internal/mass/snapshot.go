@@ -1,0 +1,241 @@
+package mass
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"vamana/internal/btree"
+	"vamana/internal/pager"
+)
+
+// Snapshot support: a Snapshot freezes the store at the latest published
+// pager version. It hands out a read-only *Store clone whose seven index
+// trees read through an epoch-pinned pager view, so every existing read
+// path — scanners, statistics probes, the executor — works against it
+// unchanged while the live store keeps mutating. Snapshots are
+// refcounted: the creating handle holds one reference and every
+// in-flight iterator holds another (via BeginRead/EndRead on the clone),
+// so closing a snapshot with readers still streaming defers the release
+// until the last of them finishes.
+
+// ErrReadOnlySnapshot is returned by mutating operations on a snapshot's
+// read-only store.
+var ErrReadOnlySnapshot = errors.New("mass: snapshot is read-only")
+
+// ErrDocumentBusy is returned by DropDocument while open snapshots or
+// in-flight iterators could still read the document's pages.
+var ErrDocumentBusy = errors.New("mass: document is busy")
+
+// Snapshot is a refcounted frozen view of the store.
+type Snapshot struct {
+	parent *Store
+	view   *pager.View
+	st     *Store // read-only clone
+	gen    uint64 // commit generation the snapshot captured
+	epoch  uint64 // pinned pager version epoch
+
+	refs   atomic.Int64
+	closed atomic.Bool
+}
+
+// snapshotCacheDivisor scales a snapshot store's node-cache budget
+// relative to the live store's: snapshots are many and usually
+// short-lived, so each gets a quarter of the configured budget.
+const snapshotCacheDivisor = 4
+
+// Snapshot publishes any unpublished state and returns a frozen view of
+// it. The returned snapshot must be Closed; until then DropDocument
+// refuses and retired page versions its view pins stay retained.
+func (s *Store) Snapshot() (*Snapshot, error) {
+	if s.ro {
+		return nil, errors.New("mass: cannot snapshot a snapshot")
+	}
+	s.writer.Lock()
+	defer s.writer.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.publishLocked(); err != nil {
+		return nil, err
+	}
+	return s.snapshotLocked(s.commitGen.Load(), nil, nil)
+}
+
+// snapshotLocked freezes the current published pager version as a
+// snapshot capturing commit generation gen. Callers hold writer and mu
+// and have already published (Snapshot) or committed (Update.CommitWith)
+// the state the view should pin.
+//
+// When prev is the snapshot of the immediately preceding committed
+// version and changed lists every page that differs between the two, the
+// new snapshot's trees adopt prev's decoded-node caches for all other
+// pages: a snapshot taken per commit starts warm instead of re-reading
+// its working set, which is what keeps the auto-snapshot serving path
+// near direct-read speed under a busy writer.
+func (s *Store) snapshotLocked(gen uint64, prev *Snapshot, changed []pager.PageID) (*Snapshot, error) {
+	view := s.pg.PinView()
+	ro := &Store{
+		pg:         s.pg,
+		ro:         true,
+		docs:       make(map[string]DocID, len(s.docs)),
+		epochs:     make(map[DocID]uint64, len(s.epochs)),
+		readers:    make(map[DocID]int),
+		nextDoc:    s.nextDoc,
+		cachePages: s.cachePages,
+	}
+	for n, d := range s.docs {
+		ro.docs[n] = d
+	}
+	for d, e := range s.epochs {
+		ro.epochs[d] = e
+	}
+	var err error
+	load := func(root pager.PageID) *btree.Tree {
+		if err != nil {
+			return nil
+		}
+		var t *btree.Tree
+		t, err = btree.Load(view, root)
+		return t
+	}
+	ro.catalog = load(s.catalog.Root())
+	ro.clustered = load(s.clustered.Root())
+	ro.names = load(s.names.Root())
+	ro.attrs = load(s.attrs.Root())
+	ro.elems = load(s.elems.Root())
+	ro.texts = load(s.texts.Root())
+	ro.values = load(s.values.Root())
+	if err != nil {
+		view.Close()
+		return nil, err
+	}
+	budget := s.cachePages
+	if budget <= 0 {
+		budget = 6144
+	}
+	ro.applyCacheBudget(budget / snapshotCacheDivisor)
+	if prev != nil {
+		var skip func(pager.PageID) bool
+		if len(changed) > 0 {
+			dirty := make(map[pager.PageID]struct{}, len(changed))
+			for _, id := range changed {
+				dirty[id] = struct{}{}
+			}
+			skip = func(id pager.PageID) bool { _, ok := dirty[id]; return ok }
+		}
+		// prev's trees may be serving in-flight readers; its mu
+		// serializes them against the cache walk. Lock order: the live
+		// store's mu (held by the caller) is always taken before a
+		// snapshot clone's — no snapshot code path takes them the other
+		// way around.
+		ps := prev.st
+		ps.mu.Lock()
+		ro.catalog.AdoptCache(ps.catalog, skip)
+		ro.clustered.AdoptCache(ps.clustered, skip)
+		ro.names.AdoptCache(ps.names, skip)
+		ro.attrs.AdoptCache(ps.attrs, skip)
+		ro.elems.AdoptCache(ps.elems, skip)
+		ro.texts.AdoptCache(ps.texts, skip)
+		ro.values.AdoptCache(ps.values, skip)
+		ps.mu.Unlock()
+	}
+	sn := &Snapshot{parent: s, view: view, st: ro, gen: gen, epoch: view.Epoch()}
+	sn.refs.Store(1)
+	ro.snapOwner = sn
+	s.snapCount++
+	return sn, nil
+}
+
+// Store returns the snapshot's read-only store clone. All read
+// operations work; mutations fail with ErrReadOnlySnapshot.
+func (sn *Snapshot) Store() *Store { return sn.st }
+
+// Gen returns the commit generation the snapshot captured: the snapshot
+// equals the latest committed state exactly while the live store's
+// CommitGen has not moved past it.
+func (sn *Snapshot) Gen() uint64 { return sn.gen }
+
+// Epoch returns the pinned pager version epoch.
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// Ref acquires an additional reference. Each Ref must be paired with an
+// Unref.
+func (sn *Snapshot) Ref() { sn.refs.Add(1) }
+
+// TryRef acquires a reference only if the snapshot is still live,
+// reporting success. It is the race-safe acquisition path for shared
+// snapshots: a handle that just dropped to zero can no longer be
+// revived.
+func (sn *Snapshot) TryRef() bool {
+	for {
+		n := sn.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if sn.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Unref releases one reference; the last release unpins the pager view
+// (reclaiming retired page versions) and unregisters from the parent.
+func (sn *Snapshot) Unref() {
+	if sn.refs.Add(-1) != 0 {
+		return
+	}
+	sn.view.Close()
+	sn.parent.mu.Lock()
+	sn.parent.snapCount--
+	sn.parent.mu.Unlock()
+}
+
+// Close releases the creating reference. Idempotent. If iterators are
+// still streaming from the snapshot, the underlying view stays pinned
+// until the last of them finishes.
+func (sn *Snapshot) Close() error {
+	if sn.closed.CompareAndSwap(false, true) {
+		sn.Unref()
+	}
+	return nil
+}
+
+// BeginRead registers an in-flight iterator over document d. On a live
+// store it counts readers per document (DropDocument refuses while any
+// are live); on a snapshot store it refs the owning snapshot so the view
+// outlives a Close with readers still streaming.
+func (s *Store) BeginRead(d DocID) {
+	if s.snapOwner != nil {
+		s.snapOwner.Ref()
+		return
+	}
+	s.mu.Lock()
+	s.readers[d]++
+	s.mu.Unlock()
+}
+
+// EndRead unregisters an iterator previously registered with BeginRead.
+func (s *Store) EndRead(d DocID) {
+	if s.snapOwner != nil {
+		s.snapOwner.Unref()
+		return
+	}
+	s.mu.Lock()
+	if s.readers[d] > 0 {
+		s.readers[d]--
+	}
+	s.mu.Unlock()
+}
+
+// Readers returns the number of in-flight iterators over d (live stores).
+func (s *Store) Readers(d DocID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readers[d]
+}
+
+// OpenSnapshots returns the number of open snapshots of this store.
+func (s *Store) OpenSnapshots() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapCount
+}

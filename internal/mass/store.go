@@ -21,7 +21,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"vamana/internal/btree"
 	"vamana/internal/flex"
@@ -32,8 +34,15 @@ import (
 
 // Store is a MASS database: a set of indexed XML documents.
 type Store struct {
-	mu sync.Mutex
-	pg *pager.Pager
+	// writer serializes mutators at the operation level (legacy per-op
+	// mutations) or transaction level (an Update holds it from Begin to
+	// Commit/Rollback), and is ordered strictly before mu: a goroutine
+	// may take mu while holding writer, never the reverse. Readers never
+	// touch it, so queries keep flowing while a writer works — they
+	// contend only on the short mu critical sections.
+	writer sync.Mutex
+	mu     sync.Mutex
+	pg     *pager.Pager
 
 	catalog   *btree.Tree // persistent metadata: tree roots, document registry
 	clustered *btree.Tree // docID ++ flexKey -> node record
@@ -66,6 +75,45 @@ type Store struct {
 	// side of the probe split.
 	recordsDecoded uint64
 	statProbes     uint64
+
+	// Snapshot/transaction state — see snapshot.go and txn.go.
+	//
+	// gen counts mutations — every one, including those buffered inside
+	// an open transaction — and drives the publish short-circuit.
+	// commitGen counts changes to the *committed* state only: legacy
+	// per-op mutations and transaction commits advance it; buffered
+	// transaction writes do not (inTxn, guarded by mu, tells the two
+	// apart). Lock-free reads of commitGen let DB.Query test whether a
+	// shared snapshot still equals the latest committed version — during
+	// an open transaction it does, however many writes the transaction
+	// has buffered. publishedGen/pubValid record the generation whose
+	// state was last published to the pager's committed layer.
+	// cachePages remembers the configured cache budget so snapshot
+	// stores and post-rollback reloads size their node caches
+	// consistently.
+	gen          atomic.Uint64
+	commitGen    atomic.Uint64
+	inTxn        bool
+	publishedGen uint64
+	pubValid     bool
+	cachePages   int
+
+	// ro marks a snapshot store: a frozen read-only clone whose trees
+	// read through an epoch-pinned pager view. snapOwner points back at
+	// the owning Snapshot so iterator pinning refcounts it.
+	ro        bool
+	snapOwner *Snapshot
+
+	// readers counts in-flight iterators per document on a live store;
+	// snapCount counts open snapshots. Both make DropDocument refuse
+	// with ErrDocumentBusy instead of deleting pages under a reader.
+	readers   map[DocID]int
+	snapCount int
+
+	// syncMu serializes durable group commits; syncedEpoch is the newest
+	// pager version epoch known durable (both file-backed stores only).
+	syncMu      sync.Mutex
+	syncedEpoch uint64
 }
 
 // StoreMetrics is a snapshot of the store's storage-level activity:
@@ -145,7 +193,14 @@ func Open(opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
-	s := &Store{pg: pg, docs: make(map[string]DocID), epochs: make(map[DocID]uint64), nextDoc: 1}
+	s := &Store{
+		pg:         pg,
+		docs:       make(map[string]DocID),
+		epochs:     make(map[DocID]uint64),
+		readers:    make(map[DocID]int),
+		nextDoc:    1,
+		cachePages: opts.CachePages,
+	}
 	meta := pg.UserMeta()
 	catalogRoot := pager.PageID(binary.LittleEndian.Uint32(meta[:4]))
 	if catalogRoot == pager.InvalidPage {
@@ -258,12 +313,25 @@ func (s *Store) loadCatalog(root pager.PageID) error {
 
 // Flush persists all index pages and the catalog.
 func (s *Store) Flush() error {
+	if s.ro {
+		return ErrReadOnlySnapshot
+	}
+	s.writer.Lock()
+	defer s.writer.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.flushLocked()
 }
 
-func (s *Store) flushLocked() error {
+// publishLocked flushes every tree's dirty nodes to the pager, records
+// the tree roots in the catalog, and commits the batch as the next pager
+// version — the point at which the current state becomes visible to new
+// snapshots. Publication is cheap when nothing changed since the last
+// one, and durability is separate (flushLocked, SyncCommitted).
+func (s *Store) publishLocked() error {
+	if s.pubValid && s.gen.Load() == s.publishedGen {
+		return nil
+	}
 	for name, slot := range s.treeNames() {
 		t := *slot
 		if err := t.Flush(); err != nil {
@@ -288,6 +356,18 @@ func (s *Store) flushLocked() error {
 	if s.pg.UserMeta() != meta {
 		s.pg.SetUserMeta(meta)
 	}
+	if err := s.pg.CommitVersion(); err != nil {
+		return err
+	}
+	s.publishedGen = s.gen.Load()
+	s.pubValid = true
+	return nil
+}
+
+func (s *Store) flushLocked() error {
+	if err := s.publishLocked(); err != nil {
+		return err
+	}
 	return s.pg.Flush()
 }
 
@@ -309,7 +389,15 @@ func (s *Store) catalogPutIfChanged(k, v []byte) error {
 
 // Close flushes and releases the store.
 func (s *Store) Close() error {
-	if err := s.Flush(); err != nil {
+	if s.ro {
+		return ErrReadOnlySnapshot
+	}
+	s.writer.Lock()
+	defer s.writer.Unlock()
+	s.mu.Lock()
+	err := s.flushLocked()
+	s.mu.Unlock()
+	if err != nil {
 		return err
 	}
 	return s.pg.Close()
@@ -319,6 +407,11 @@ func (s *Store) Close() error {
 // any buffered state, returning the number of pages checked and the ids
 // that failed verification. In-memory stores report zero pages checked.
 func (s *Store) VerifyPages() (checked int, corrupt []pager.PageID, err error) {
+	if s.ro {
+		return 0, nil, ErrReadOnlySnapshot
+	}
+	s.writer.Lock()
+	defer s.writer.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.pg.InMemory() {
@@ -333,8 +426,13 @@ func (s *Store) VerifyPages() (checked int, corrupt []pager.PageID, err error) {
 // given unique name, returning its DocID. Loading is streaming: memory use
 // is bounded by the index caches, not the document size.
 func (s *Store) LoadDocument(name string, r io.Reader) (DocID, error) {
+	s.writer.Lock()
+	defer s.writer.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ro {
+		return 0, ErrReadOnlySnapshot
+	}
 	if _, exists := s.docs[name]; exists {
 		return 0, fmt.Errorf("mass: document %q already loaded", name)
 	}
@@ -465,8 +563,30 @@ func (s *Store) Epoch(d DocID) uint64 {
 
 // bumpEpochLocked invalidates cached document-derived state after a
 // mutation. Called with mu held, including on failed partial mutations —
-// a spurious bump only costs one redundant recomputation.
-func (s *Store) bumpEpochLocked(d DocID) { s.epochs[d]++ }
+// a spurious bump only costs one redundant recomputation. It also
+// advances the store generation, and — outside a transaction, where the
+// mutation changes committed state immediately — the commit generation,
+// which marks any shared auto-snapshot stale. Buffered transaction
+// writes leave commitGen alone: the latest committed version is
+// unchanged until Commit, which advances it once for the whole batch.
+func (s *Store) bumpEpochLocked(d DocID) {
+	s.epochs[d]++
+	s.gen.Add(1)
+	if !s.inTxn {
+		s.commitGen.Add(1)
+	}
+}
+
+// Gen returns the store's mutation generation: it advances on every
+// mutation of any document, including writes buffered inside an open
+// transaction.
+func (s *Store) Gen() uint64 { return s.gen.Load() }
+
+// CommitGen returns the store's commit generation: it advances exactly
+// when the committed state changes (per-op mutations, transaction
+// commits, document loads and drops). Lock-free, so the serving path can
+// test a shared snapshot's freshness with one atomic load.
+func (s *Store) CommitGen() uint64 { return s.commitGen.Load() }
 
 // BumpEpoch advances the document's statistics epoch without a data
 // mutation, dropping cached plans and memoized probes derived from it.
@@ -501,7 +621,7 @@ func (s *Store) DocName(d DocID) string {
 	return ""
 }
 
-// Documents returns the loaded document names.
+// Documents returns the loaded document names, sorted.
 func (s *Store) Documents() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -509,20 +629,35 @@ func (s *Store) Documents() []string {
 	for n := range s.docs {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 
-// DropDocument removes a document and all its index entries.
+// DropDocument removes a document and all its index entries. It refuses
+// with ErrDocumentBusy while any snapshot is open or any iterator is
+// streaming the document: dropping would delete pages mid-read.
 func (s *Store) DropDocument(name string) error {
+	s.writer.Lock()
+	defer s.writer.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ro {
+		return ErrReadOnlySnapshot
+	}
 	d, ok := s.docs[name]
 	if !ok {
 		return ErrNoDoc
 	}
+	if s.snapCount > 0 {
+		return fmt.Errorf("%w: %q has %d open snapshot(s)", ErrDocumentBusy, name, s.snapCount)
+	}
+	if n := s.readers[d]; n > 0 {
+		return fmt.Errorf("%w: %q has %d in-flight reader(s)", ErrDocumentBusy, name, n)
+	}
 	s.removeDocNodesLocked(d)
 	s.bumpEpochLocked(d)
 	delete(s.docs, name)
+	delete(s.readers, d)
 	_, err := s.catalog.Delete([]byte(catDoc + name))
 	return err
 }

@@ -1,0 +1,256 @@
+package mass
+
+import (
+	"errors"
+
+	"vamana/internal/btree"
+	"vamana/internal/flex"
+	"vamana/internal/pager"
+	"vamana/internal/xmldoc"
+)
+
+// Write transactions. An Update batches any number of mutations into one
+// atomic publication: BeginUpdate publishes the current state (so the
+// rollback baseline is exactly the last committed version), opens a
+// pager-level bracket that buffers every page write, and holds the
+// store's writer lock for the transaction's whole span — one writer at a
+// time, readers unaffected. Commit publishes the batch as a single new
+// pager version; Rollback discards the buffered pages and reloads the
+// index trees at their pre-transaction roots, as if nothing happened.
+//
+// Durability is group-committed: Commit returns the published version
+// epoch, and SyncCommitted(epoch) makes it durable with one journal
+// flush that covers every transaction committed up to that point —
+// concurrent committers coalesce on one fsync instead of paying one
+// each.
+
+// ErrTxnDone is returned when a finished Update is used again.
+var ErrTxnDone = errors.New("mass: transaction already committed or rolled back")
+
+// Update is an open write transaction. It is not safe for concurrent
+// use; the goroutine running the transaction owns it.
+type Update struct {
+	s       *Store
+	roots   map[string]pager.PageID // index tree roots at begin, for rollback
+	catRoot pager.PageID
+	done    bool
+}
+
+// BeginUpdate opens a write transaction. It blocks while another
+// transaction or per-operation mutation holds the writer lock. The
+// returned Update must be finished with Commit or Rollback.
+func (s *Store) BeginUpdate() (*Update, error) {
+	if s.ro {
+		return nil, ErrReadOnlySnapshot
+	}
+	s.writer.Lock()
+	s.mu.Lock()
+	// Publish pending state first: the transaction's rollback baseline
+	// must be exactly the committed version readers can already see.
+	if err := s.publishLocked(); err != nil {
+		s.mu.Unlock()
+		s.writer.Unlock()
+		return nil, err
+	}
+	u := &Update{s: s, roots: make(map[string]pager.PageID, 6), catRoot: s.catalog.Root()}
+	for name, slot := range s.treeNames() {
+		u.roots[name] = (*slot).Root()
+	}
+	s.pg.BeginUpdate()
+	s.inTxn = true // buffered writes leave commitGen alone until Commit
+	s.mu.Unlock()
+	return u, nil
+}
+
+// Commit publishes the transaction's mutations as one new pager version
+// and releases the writer lock. It returns the published version epoch —
+// pass it to SyncCommitted for group-committed durability. On error the
+// transaction is rolled back.
+func (u *Update) Commit() (epoch uint64, err error) {
+	return u.commit(nil, nil)
+}
+
+// CommitWith is Commit plus an atomically-installed snapshot: after the
+// new version publishes — but before the new commit generation becomes
+// visible through CommitGen — it freezes the just-committed state and
+// hands the snapshot to install. A reader that validates a shared
+// snapshot against CommitGen therefore never observes a stale window
+// around a transaction commit: until the handoff it sees the old commit
+// generation (matching the snapshot it already holds, still the latest
+// committed state), and by the time the generation advances the new
+// snapshot is installed. install runs with the writer lock held and must
+// not call back into mutating store operations; swapping a pointer and
+// releasing the previous snapshot is fine. If freezing fails the commit
+// still succeeds and install is skipped.
+//
+// prev, when non-nil, is the caller's currently-installed snapshot. If
+// it is exactly one commit generation behind and the transaction
+// published at most one pager version, the new snapshot adopts prev's
+// decoded-node caches for every unchanged page (see snapshotLocked) —
+// otherwise prev is ignored and the snapshot starts cold.
+func (u *Update) CommitWith(prev *Snapshot, install func(*Snapshot)) (epoch uint64, err error) {
+	return u.commit(prev, install)
+}
+
+func (u *Update) commit(prev *Snapshot, install func(*Snapshot)) (epoch uint64, err error) {
+	if u.done {
+		return 0, ErrTxnDone
+	}
+	u.done = true
+	s := u.s
+	s.mu.Lock()
+	if err := s.publishLocked(); err != nil {
+		s.rollbackLocked(u)
+		s.mu.Unlock()
+		s.writer.Unlock()
+		return 0, err
+	}
+	s.pg.CommitUpdate()
+	epoch = s.pg.VersionEpoch()
+	s.inTxn = false
+	next := s.commitGen.Load() + 1 // commitGen only moves under writer, held here
+	var sn *Snapshot
+	if install != nil {
+		var changed []pager.PageID
+		if prev != nil && prev.gen+1 == next {
+			switch epoch {
+			case prev.epoch:
+				// Nothing published (empty transaction): every page is
+				// identical, adopt everything.
+			case prev.epoch + 1:
+				// Exactly this transaction's publish separates the two
+				// versions; its page set is the precise delta.
+				changed = s.pg.LastCommitPages()
+			default:
+				prev = nil // intervening commits; delta unknown
+			}
+		} else {
+			prev = nil // prev is not the directly preceding committed state
+		}
+		sn, _ = s.snapshotLocked(next, prev, changed) // on error: commit stands, no install
+	}
+	s.mu.Unlock()
+	if sn != nil {
+		install(sn)
+	}
+	s.commitGen.Store(next)
+	s.writer.Unlock()
+	return epoch, nil
+}
+
+// Rollback discards every mutation made through the transaction and
+// releases the writer lock. Idempotent after Commit/Rollback only in the
+// sense that it reports ErrTxnDone.
+func (u *Update) Rollback() error {
+	if u.done {
+		return ErrTxnDone
+	}
+	u.done = true
+	s := u.s
+	s.mu.Lock()
+	err := s.rollbackLocked(u)
+	s.mu.Unlock()
+	s.writer.Unlock()
+	return err
+}
+
+// rollbackLocked discards the pager bracket and reloads the index trees
+// at their pre-transaction roots. Statistics epochs bumped by the
+// aborted mutations stay bumped — they are monotonic staleness markers,
+// and a spurious bump only costs cache refills.
+func (s *Store) rollbackLocked(u *Update) error {
+	s.inTxn = false
+	s.pg.RollbackUpdate()
+	for name, slot := range s.treeNames() {
+		t, err := btree.Load(s.pg, u.roots[name])
+		if err != nil {
+			return err
+		}
+		*slot = t
+	}
+	cat, err := btree.Load(s.pg, u.catRoot)
+	if err != nil {
+		return err
+	}
+	s.catalog = cat
+	s.applyCacheBudget(s.cachePages)
+	return nil
+}
+
+// Transaction mutation methods: the same operations as the store-level
+// per-op mutators, bound to the open transaction (which already holds
+// the writer lock).
+
+// InsertElement is Store.InsertElement within the transaction.
+func (u *Update) InsertElement(d DocID, parent flex.Key, pos int, name string) (flex.Key, error) {
+	if u.done {
+		return "", ErrTxnDone
+	}
+	return u.s.insertContent(d, parent, pos, xmldoc.Node{Kind: xmldoc.KindElement, Name: name})
+}
+
+// InsertText is Store.InsertText within the transaction.
+func (u *Update) InsertText(d DocID, parent flex.Key, pos int, value string) (flex.Key, error) {
+	if u.done {
+		return "", ErrTxnDone
+	}
+	return u.s.insertContent(d, parent, pos, xmldoc.Node{Kind: xmldoc.KindText, Value: value})
+}
+
+// InsertAttribute is Store.InsertAttribute within the transaction.
+func (u *Update) InsertAttribute(d DocID, owner flex.Key, name, value string) (flex.Key, error) {
+	if u.done {
+		return "", ErrTxnDone
+	}
+	return u.s.insertAttribute(d, owner, name, value)
+}
+
+// UpdateText is Store.UpdateText within the transaction.
+func (u *Update) UpdateText(d DocID, key flex.Key, newValue string) error {
+	if u.done {
+		return ErrTxnDone
+	}
+	return u.s.updateText(d, key, newValue)
+}
+
+// RenameElement is Store.RenameElement within the transaction.
+func (u *Update) RenameElement(d DocID, key flex.Key, newName string) error {
+	if u.done {
+		return ErrTxnDone
+	}
+	return u.s.renameElement(d, key, newName)
+}
+
+// DeleteSubtree is Store.DeleteSubtree within the transaction.
+func (u *Update) DeleteSubtree(d DocID, key flex.Key) error {
+	if u.done {
+		return ErrTxnDone
+	}
+	return u.s.deleteSubtree(d, key)
+}
+
+// SyncCommitted makes every version committed at or before epoch durable
+// with at most one journal flush — the group-commit path. Concurrent
+// callers coalesce: whoever gets the sync lock first flushes for the
+// whole group, and the rest find their epoch already covered. In-memory
+// stores have no durability and return immediately.
+func (s *Store) SyncCommitted(epoch uint64) error {
+	if s.pg.InMemory() {
+		return nil
+	}
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if s.syncedEpoch >= epoch {
+		return nil // a concurrent committer's flush already covered us
+	}
+	// The flush will cover everything committed up to now, which may be
+	// later than the caller's epoch — record the higher watermark.
+	cover := s.pg.VersionEpoch()
+	if err := s.pg.Flush(); err != nil {
+		return err
+	}
+	if cover > s.syncedEpoch {
+		s.syncedEpoch = cover
+	}
+	return nil
+}

@@ -27,18 +27,28 @@ var ErrBadTarget = errors.New("mass: node kind incompatible with this update")
 // parent at position pos (0-based among existing content children;
 // pos < 0 or past the end appends). It returns the new node's key.
 func (s *Store) InsertElement(d DocID, parent flex.Key, pos int, name string) (flex.Key, error) {
+	s.writer.Lock()
+	defer s.writer.Unlock()
 	return s.insertContent(d, parent, pos, xmldoc.Node{Kind: xmldoc.KindElement, Name: name})
 }
 
 // InsertText inserts a new text node with the given value as a content
 // child of parent at position pos (see InsertElement).
 func (s *Store) InsertText(d DocID, parent flex.Key, pos int, value string) (flex.Key, error) {
+	s.writer.Lock()
+	defer s.writer.Unlock()
 	return s.insertContent(d, parent, pos, xmldoc.Node{Kind: xmldoc.KindText, Value: value})
 }
 
+// insertContent is the writer-lock-free inner body shared by the
+// per-operation entry points above and Update transactions (which hold
+// the writer lock for their whole span).
 func (s *Store) insertContent(d DocID, parent flex.Key, pos int, n xmldoc.Node) (flex.Key, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ro {
+		return "", ErrReadOnlySnapshot
+	}
 	defer s.bumpEpochLocked(d)
 	pn, ok, err := s.nodeLocked(d, parent)
 	if err != nil {
@@ -123,8 +133,17 @@ func (s *Store) childComponents(d DocID, parent flex.Key) (attrs, contents []fle
 // placed after any existing attributes and before all content children,
 // preserving document-order invariants.
 func (s *Store) InsertAttribute(d DocID, owner flex.Key, name, value string) (flex.Key, error) {
+	s.writer.Lock()
+	defer s.writer.Unlock()
+	return s.insertAttribute(d, owner, name, value)
+}
+
+func (s *Store) insertAttribute(d DocID, owner flex.Key, name, value string) (flex.Key, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ro {
+		return "", ErrReadOnlySnapshot
+	}
 	defer s.bumpEpochLocked(d)
 	on, ok, err := s.nodeLocked(d, owner)
 	if err != nil {
@@ -164,8 +183,17 @@ func (s *Store) InsertAttribute(d DocID, owner flex.Key, name, value string) (fl
 // UpdateText replaces the value of a text or attribute node, keeping the
 // value index (and therefore TC statistics) exact.
 func (s *Store) UpdateText(d DocID, key flex.Key, newValue string) error {
+	s.writer.Lock()
+	defer s.writer.Unlock()
+	return s.updateText(d, key, newValue)
+}
+
+func (s *Store) updateText(d DocID, key flex.Key, newValue string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ro {
+		return ErrReadOnlySnapshot
+	}
 	defer s.bumpEpochLocked(d)
 	n, ok, err := s.nodeLocked(d, key)
 	if err != nil {
@@ -202,8 +230,17 @@ func (s *Store) UpdateText(d DocID, key flex.Key, newValue string) error {
 
 // RenameElement changes an element's name, maintaining the name index.
 func (s *Store) RenameElement(d DocID, key flex.Key, newName string) error {
+	s.writer.Lock()
+	defer s.writer.Unlock()
+	return s.renameElement(d, key, newName)
+}
+
+func (s *Store) renameElement(d DocID, key flex.Key, newName string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ro {
+		return ErrReadOnlySnapshot
+	}
 	defer s.bumpEpochLocked(d)
 	n, ok, err := s.nodeLocked(d, key)
 	if err != nil {
@@ -236,8 +273,17 @@ func (s *Store) RenameElement(d DocID, key flex.Key, newName string) error {
 // (descendants, attributes, text), cleaning every index. Deleting the
 // document node is rejected; use DropDocument.
 func (s *Store) DeleteSubtree(d DocID, key flex.Key) error {
+	s.writer.Lock()
+	defer s.writer.Unlock()
+	return s.deleteSubtree(d, key)
+}
+
+func (s *Store) deleteSubtree(d DocID, key flex.Key) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ro {
+		return ErrReadOnlySnapshot
+	}
 	defer s.bumpEpochLocked(d)
 	if key == flex.Root {
 		return fmt.Errorf("%w: cannot delete the document node", ErrBadTarget)

@@ -117,6 +117,15 @@ func journalHeaderPages(n int) int {
 // described above. Called with mu held. A no-op when nothing changed
 // since the last commit.
 func (p *Pager) commitLocked() error {
+	// Fold the dirty overlay into the committed (pending) layer first —
+	// durability implies version-commit. An open update bracket keeps
+	// its in-flight writes out: only previously committed state is
+	// journaled.
+	if !p.inTxn {
+		if err := p.commitVersionLocked(); err != nil {
+			return err
+		}
+	}
 	if !p.metaDirty && len(p.pending) == 0 {
 		return nil
 	}

@@ -78,10 +78,23 @@ type Pager struct {
 	epoch   uint64   // meta epoch of the newest durable meta page
 	verify  bool     // verify page checksums on read
 
-	// pending buffers client writes (payload copies) between commits.
-	// Flush makes the whole batch durable atomically via the journal.
+	// pending holds committed page images not yet durable (file mode
+	// only). Flush makes the whole batch durable atomically via the
+	// journal.
 	pending   map[PageID][]byte
 	metaDirty bool // allocation/free-list/userMeta changes since last commit
+
+	// Snapshot machinery — see mvcc.go. dirty buffers writes since the
+	// last version commit (always on file pagers; on memory pagers only
+	// while a snapshot pin or an update bracket is live). versions holds
+	// retired committed images still visible to pinned epochs.
+	dirty      map[PageID][]byte
+	vEpoch     uint64
+	pins       map[uint64]int
+	versions   map[PageID][]pageVersion
+	inTxn      bool
+	txnMark    txnMark
+	lastCommit []PageID // pages changed by the newest version commit
 
 	userMeta [userMetaSize]byte
 	closed   bool
@@ -104,6 +117,10 @@ type Metrics struct {
 	ChecksumFails  uint64 // page reads that failed CRC verification
 	MetaFallbacks  uint64 // opens that lost one meta copy and recovered from the other
 	JournalReplays uint64 // opens that completed an interrupted commit from its journal
+
+	// Snapshot counters (see mvcc.go).
+	VersionCommits uint64 // version commits that published buffered writes
+	PagesStashed   uint64 // committed images retired into version lists for live snapshots
 }
 
 // Metrics returns a snapshot of the pager's I/O counters.
@@ -138,7 +155,12 @@ func (p *Pager) SetUserMeta(m [userMetaSize]byte) {
 // have no durability concerns: writes apply immediately, Flush is a no-op
 // and no checksums are kept.
 func NewMemory() *Pager {
-	p := &Pager{npages: firstDataPage}
+	p := &Pager{
+		npages:   firstDataPage,
+		dirty:    make(map[PageID][]byte),
+		pins:     make(map[uint64]int),
+		versions: make(map[PageID][]pageVersion),
+	}
 	p.mem = make([][]byte, firstDataPage)
 	for i := range p.mem {
 		p.mem[i] = make([]byte, PageSize)
@@ -177,10 +199,13 @@ func Open(path string) (*Pager, error) {
 // pager closes it.
 func OpenBackend(cfg Config) (*Pager, error) {
 	p := &Pager{
-		backend: cfg.Backend,
-		verify:  !cfg.DisableChecksumVerify,
-		pending: make(map[PageID][]byte),
-		scratch: make([]byte, DiskPageSize),
+		backend:  cfg.Backend,
+		verify:   !cfg.DisableChecksumVerify,
+		pending:  make(map[PageID][]byte),
+		dirty:    make(map[PageID][]byte),
+		pins:     make(map[uint64]int),
+		versions: make(map[PageID][]pageVersion),
+		scratch:  make([]byte, DiskPageSize),
 	}
 	size, err := cfg.Backend.Size()
 	if err != nil {
@@ -257,6 +282,14 @@ func (p *Pager) Read(id PageID, buf []byte) error {
 		return fmt.Errorf("pager: read buffer is %d bytes, want %d", len(buf), PageSize)
 	}
 	p.m.Reads++
+	// Writes buffered since the last version commit shadow everything:
+	// the writer always reads its own writes.
+	if len(p.dirty) != 0 {
+		if img, ok := p.dirty[id]; ok {
+			copy(buf, img)
+			return nil
+		}
+	}
 	if p.backend == nil {
 		copy(buf, p.mem[id])
 		return nil
@@ -307,14 +340,17 @@ func (p *Pager) Write(id PageID, buf []byte) error {
 		return fmt.Errorf("pager: write buffer is %d bytes, want %d", len(buf), PageSize)
 	}
 	p.m.Writes++
-	if p.backend == nil {
+	// Memory fast path: with no snapshot pinned, no update bracket open
+	// and no dirty overlay to shadow it, the write applies in place —
+	// the pre-snapshot behavior, kept allocation- and map-free.
+	if p.backend == nil && !p.inTxn && len(p.pins) == 0 && len(p.dirty) == 0 {
 		copy(p.mem[id], buf)
 		return nil
 	}
-	img, ok := p.pending[id]
+	img, ok := p.dirty[id]
 	if !ok {
 		img = make([]byte, PageSize)
-		p.pending[id] = img
+		p.dirty[id] = img
 	}
 	copy(img, buf)
 	return nil
@@ -331,7 +367,14 @@ func (p *Pager) Flush() error {
 		return ErrClosed
 	}
 	if p.backend == nil {
-		return nil
+		// Nothing to make durable, but an outstanding dirty overlay (a
+		// snapshot was pinned when the writes landed) still becomes the
+		// committed state — unless an update bracket is open, in which
+		// case its in-flight writes stay buffered until it resolves.
+		if p.inTxn {
+			return nil
+		}
+		return p.commitVersionLocked()
 	}
 	return p.commitLocked()
 }

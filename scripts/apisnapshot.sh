@@ -1,0 +1,38 @@
+#!/bin/sh
+# API surface snapshot: the public API of the root vamana package, as
+# printed by `go doc -all .`, is committed as scripts/api_surface.txt.
+# This script fails when the live surface differs from the committed
+# golden — an API change must be deliberate, reviewed, and re-recorded
+# with `scripts/apisnapshot.sh -update`. check.sh runs the diff mode, so
+# an accidental export, signature change, or deletion fails CI with the
+# exact textual diff.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+golden="scripts/api_surface.txt"
+current=$(go doc -all .)
+
+case "${1:-}" in
+-update)
+    printf '%s\n' "$current" >"$golden"
+    echo "recorded $(printf '%s\n' "$current" | wc -l | tr -d ' ') lines to $golden"
+    ;;
+"")
+    if [ ! -f "$golden" ]; then
+        echo "missing $golden — run scripts/apisnapshot.sh -update to record it" >&2
+        exit 1
+    fi
+    if ! printf '%s\n' "$current" | diff -u "$golden" - >/tmp/apisurface.diff 2>&1; then
+        echo "public API surface differs from $golden:" >&2
+        cat /tmp/apisurface.diff >&2
+        echo "if the change is intentional, re-record with scripts/apisnapshot.sh -update" >&2
+        exit 1
+    fi
+    echo "API surface matches $golden"
+    ;;
+*)
+    echo "usage: scripts/apisnapshot.sh [-update]" >&2
+    exit 2
+    ;;
+esac

@@ -27,6 +27,12 @@ fi
 echo "== go vet"
 go vet ./...
 
+echo "== public API surface (go doc -all vs scripts/api_surface.txt)"
+# Accidental exports, signature changes and deletions fail here with a
+# textual diff; deliberate API changes re-record the golden with
+# scripts/apisnapshot.sh -update.
+scripts/apisnapshot.sh
+
 echo "== go build"
 go build ./...
 
@@ -92,5 +98,17 @@ echo "== calibration overhead gate (observatory on vs off, 1% budget, zero-alloc
 # Allocation pin plus interleaved best-of-rounds timing — see
 # TestCalibrationOverheadGate.
 VAMANA_CALIBRATION_GATE=1 go test -run '^TestCalibrationOverheadGate$' -v -count 1 -timeout 20m .
+
+echo "== snapshot/transaction tests under the race detector"
+# Snapshot isolation, transaction atomicity, typed busy/read-only
+# errors, and the mixed-workload battery (readers on pinned snapshots
+# racing a committing writer, streams byte-identical to committed
+# states) — see snapshot_test.go.
+go test -race -run 'TestSnapshotIsolation|TestSnapshotReadOnlyPublic|TestUpdateTxnPublic|TestDropBusyPublic|TestPrepareRunEquivalence|TestMixedReadWriteRace' -count 1 .
+
+echo "== mixed read/write gate (reader p95 with paced writer, 1.10x budget)"
+# Interleaved solo/mixed best-of-rounds under -race — see
+# TestMixedReadWriteGate.
+VAMANA_MIXED_GATE=1 go test -race -run '^TestMixedReadWriteGate$' -v -count 1 -timeout 20m .
 
 echo "OK"

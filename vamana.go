@@ -39,6 +39,7 @@ import (
 	"io"
 	"iter"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"vamana/internal/core"
@@ -158,6 +159,12 @@ type StorageMetrics = mass.StoreMetrics
 type DB struct {
 	engine   *core.Engine
 	defaults Limits
+	// shared is the auto-snapshot read path's current snapshot: installed
+	// by DB.Update commits, served (refcounted) by DB.Query while fresh,
+	// and dropped when a legacy per-op mutation makes it stale. Nil until
+	// the first transactional commit — queries then read the live store
+	// directly, which is equivalent while nothing is being batched.
+	shared atomic.Pointer[core.Snapshot]
 }
 
 // Open creates or reopens a database.
@@ -184,13 +191,30 @@ func Open(opts Options) (*DB, error) {
 }
 
 // Close flushes indexes and releases the store.
-func (db *DB) Close() error { return db.engine.Close() }
+func (db *DB) Close() error {
+	db.dropShared()
+	return db.engine.Close()
+}
 
-// Document is a handle to one loaded document.
+// Document is a handle to one loaded document. A handle obtained from
+// DB reads the live store; one obtained from Snapshot.Document reads
+// that snapshot's pinned version and rejects mutation.
 type Document struct {
 	db   *DB
 	id   mass.DocID
 	name string
+	// snap binds the handle to a snapshot's frozen view; nil for live
+	// handles.
+	snap *Snapshot
+}
+
+// reader returns the store this handle reads from: the pinned snapshot
+// store for snapshot-bound handles, the live store otherwise.
+func (d *Document) reader() *mass.Store {
+	if d.snap != nil {
+		return d.snap.cs.Store()
+	}
+	return d.db.engine.Store()
 }
 
 // LoadXML shreds and indexes the XML document from r under a unique name.
@@ -226,8 +250,15 @@ func (db *DB) Document(name string) (*Document, error) {
 func (db *DB) Documents() []string { return db.engine.Store().Documents() }
 
 // Drop removes a document and all its index entries. Dropping an unknown
-// name fails with an error satisfying errors.Is(err, ErrNoSuchDocument).
+// name fails with an error satisfying errors.Is(err, ErrNoSuchDocument);
+// dropping a document that open snapshots or in-flight result streams
+// could still read fails with one satisfying errors.Is(err,
+// ErrDocumentBusy) — close them and retry.
 func (db *DB) Drop(name string) error {
+	// Release the auto-snapshot first: it pins every document and would
+	// otherwise make the drop spuriously busy. It reinstalls on the next
+	// transactional commit.
+	db.dropShared()
 	if err := db.engine.Store().DropDocument(name); err != nil {
 		if errors.Is(err, mass.ErrNoDoc) {
 			return wrapNoDoc(err, name)
@@ -276,24 +307,85 @@ type Query struct {
 	q *core.Query
 }
 
-// Compile parses expr into its default (unoptimized) query plan.
-func (db *DB) Compile(expr string) (*Query, error) {
-	q, err := db.engine.Compile(expr)
+// CompileOption adjusts one Prepare call.
+type CompileOption func(*compileConfig)
+
+type compileConfig struct {
+	doc     *Document
+	noOpt   bool
+	noCache bool
+}
+
+// WithDocument compiles against doc's index statistics: the cost-driven
+// optimizer runs and its rewrites are chosen using doc's exact counts.
+// Without a document the default (unoptimized) plan is built, since
+// there are no statistics to cost rewrites against.
+func WithDocument(doc *Document) CompileOption {
+	return func(c *compileConfig) { c.doc = doc }
+}
+
+// WithoutOptimization skips the cost-driven optimizer even when a
+// document was supplied — the paper's baseline "VQP" plan, kept mainly
+// for benchmarking the optimizer's effect.
+func WithoutOptimization() CompileOption {
+	return func(c *compileConfig) { c.noOpt = true }
+}
+
+// WithoutCache bypasses the plan cache: the expression is compiled
+// fresh and the result is not retained. Use for one-off expressions
+// that would otherwise churn the cache.
+func WithoutCache() CompileOption {
+	return func(c *compileConfig) { c.noCache = true }
+}
+
+// Prepare compiles expr for repeated execution with Query.Run. By
+// default the compilation goes through the plan cache; add WithDocument
+// to optimize against a document's statistics (cached per document and
+// invalidated automatically when the document changes). Prepare with
+// WithDocument is exactly the compilation half of DB.Query.
+func (db *DB) Prepare(expr string, opts ...CompileOption) (*Query, error) {
+	var cfg compileConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	optimized := cfg.doc != nil && !cfg.noOpt
+	var (
+		q   *core.Query
+		err error
+	)
+	switch {
+	case cfg.noCache && optimized:
+		q, err = db.engine.CompileOptimized(cfg.doc.id, expr)
+	case cfg.noCache:
+		q, err = db.engine.Compile(expr)
+	default:
+		var id mass.DocID
+		if cfg.doc != nil {
+			id = cfg.doc.id
+		}
+		q, err = db.engine.CompileCached(id, expr, optimized)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &Query{q: q}, nil
 }
 
+// Compile parses expr into its default (unoptimized) query plan.
+//
+// Deprecated: use Prepare with WithoutOptimization and WithoutCache.
+func (db *DB) Compile(expr string) (*Query, error) {
+	return db.Prepare(expr, WithoutOptimization(), WithoutCache())
+}
+
 // CompileOptimized parses expr and optimizes its plan against doc's live
 // index statistics. The resulting plan is guaranteed to have estimated
 // cost no worse than the default plan's.
+//
+// Deprecated: use Prepare with WithDocument (add WithoutCache for the
+// exact uncached behavior of this method).
 func (db *DB) CompileOptimized(doc *Document, expr string) (*Query, error) {
-	q, err := db.engine.CompileOptimized(doc.id, expr)
-	if err != nil {
-		return nil, err
-	}
-	return &Query{q: q}, nil
+	return db.Prepare(expr, WithDocument(doc), WithoutCache())
 }
 
 // Query is the one-shot serving fast path: it compiles expr with the
@@ -315,16 +407,16 @@ func (db *DB) Query(doc *Document, expr string) (*Results, error) {
 }
 
 // CompileCached is DB.Query's compilation half without the execution: it
-// returns a (possibly cached) compiled query for expr. With optimized
-// true the plan is optimized against doc's statistics and cached per
-// document; otherwise the default plan is built and shared across
-// documents.
+// returns a (possibly cached) compiled query for expr.
+//
+// Deprecated: use Prepare — with WithDocument for optimized true, with
+// WithoutOptimization for optimized false.
 func (db *DB) CompileCached(doc *Document, expr string, optimized bool) (*Query, error) {
-	q, err := db.engine.CompileCached(doc.id, expr, optimized)
-	if err != nil {
-		return nil, err
+	opts := []CompileOption{WithDocument(doc)}
+	if !optimized {
+		opts = append(opts, WithoutOptimization())
 	}
-	return &Query{q: q}, nil
+	return db.Prepare(expr, opts...)
 }
 
 // CacheStats reports the serving fast path's effectiveness: plan-cache
@@ -400,29 +492,50 @@ func (q *Query) ExplainAnalyze(doc *Document) (string, error) {
 	return q.q.ExplainAnalyze(doc.id)
 }
 
-// Execute runs the query against doc with the document root as the
-// initial context node. Results stream; nothing is materialized beyond
-// the duplicate-elimination set.
+// Run executes the query against doc. By default results stream from
+// the document root in pipeline order; options adjust the run: Ordered
+// delivers in document order, From sets the initial context node and
+// variable bindings, and the governance options (WithTimeout,
+// WithMaxResults, …) layer budgets over the database defaults.
 //
-// Execute is ExecuteContext with context.Background() and the database's
-// default budgets.
+// A snapshot-bound doc (from Snapshot.Document) runs against that
+// snapshot's pinned version; a live handle runs against the live store.
+func (q *Query) Run(ctx context.Context, doc *Document, opts ...QueryOption) (*Results, error) {
+	cfg := doc.db.config(opts)
+	var st *mass.Store
+	if doc.snap != nil {
+		if doc.snap.closed.Load() {
+			return nil, ErrSnapshotClosed
+		}
+		st = doc.snap.cs.Store()
+	}
+	it, err := q.q.RunContext(ctx, st, doc.id, flexKey(cfg.start), flexVars(cfg.vars), cfg.ordered, cfg.limits)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{doc: doc, it: it}, nil
+}
+
+// Execute runs the query against doc with the document root as the
+// initial context node.
+//
+// Deprecated: use Run.
 func (q *Query) Execute(doc *Document) (*Results, error) {
-	return q.ExecuteContext(context.Background(), doc)
+	return q.Run(context.Background(), doc)
 }
 
 // ExecuteOrdered runs the query and delivers results in document order.
-// The result set is materialized and sorted first; prefer Execute when
-// streaming delivery matters more than ordering (reverse axes otherwise
-// stream in axis order).
+//
+// Deprecated: use Run with Ordered.
 func (q *Query) ExecuteOrdered(doc *Document) (*Results, error) {
-	return q.ExecuteOrderedContext(context.Background(), doc)
+	return q.Run(context.Background(), doc, Ordered())
 }
 
-// ExecuteFrom runs the query with an explicit initial context node (a
-// FLEX key previously obtained from a result) and optional variable
-// bindings for $name references.
+// ExecuteFrom runs the query with an explicit initial context node.
+//
+// Deprecated: use Run with From.
 func (q *Query) ExecuteFrom(doc *Document, startKey string, vars map[string][]string) (*Results, error) {
-	return q.ExecuteFromContext(context.Background(), doc, startKey, vars)
+	return q.Run(context.Background(), doc, From(startKey, vars))
 }
 
 func flexKey(k string) flex.Key { return flex.Key(k) }
@@ -561,7 +674,7 @@ type Stats struct {
 
 // Stats returns node-count statistics for the document.
 func (d *Document) Stats() (Stats, error) {
-	s := d.db.engine.Store()
+	s := d.reader()
 	var st Stats
 	var err error
 	if st.Nodes, err = s.CountNodes(d.id); err != nil {
@@ -577,19 +690,19 @@ func (d *Document) Stats() (Stats, error) {
 // CountName returns the number of elements with the given name — COUNT in
 // the paper's cost model.
 func (d *Document) CountName(name string) (uint64, error) {
-	return d.db.engine.Store().CountName(d.id, name)
+	return d.reader().CountName(d.id, name)
 }
 
 // TextCount returns the number of text nodes whose value equals v — TC in
 // the paper's cost model.
 func (d *Document) TextCount(v string) (uint64, error) {
-	return d.db.engine.Store().TextCount(d.id, v, "")
+	return d.reader().TextCount(d.id, v, "")
 }
 
 // StringValue computes the XPath string-value of the node with the given
 // FLEX key.
 func (d *Document) StringValue(key string) (string, error) {
-	return d.db.engine.Store().StringValue(d.id, flex.Key(key))
+	return d.reader().StringValue(d.id, flex.Key(key))
 }
 
 // InsertElement inserts a new element named name as a content child of
@@ -597,56 +710,72 @@ func (d *Document) StringValue(key string) (string, error) {
 // (negative or past-the-end appends). Indexes and statistics update
 // immediately: the next CountName probe already reflects the insert —
 // VAMANA's cost model never goes stale under updates.
+//
+// Snapshot-bound handles fail with ErrReadOnlySnapshot.
+//
+// Deprecated: use DB.Update, which batches mutations into one atomic,
+// group-committed version. This per-operation form commits and
+// journals each call individually.
 func (d *Document) InsertElement(parentKey string, pos int, name string) (string, error) {
-	k, err := d.db.engine.Store().InsertElement(d.id, flex.Key(parentKey), pos, name)
+	k, err := d.reader().InsertElement(d.id, flex.Key(parentKey), pos, name)
 	return string(k), err
 }
 
 // InsertText inserts a new text node under parentKey (see InsertElement).
+//
+// Deprecated: use DB.Update (see Document.InsertElement).
 func (d *Document) InsertText(parentKey string, pos int, value string) (string, error) {
-	k, err := d.db.engine.Store().InsertText(d.id, flex.Key(parentKey), pos, value)
+	k, err := d.reader().InsertText(d.id, flex.Key(parentKey), pos, value)
 	return string(k), err
 }
 
 // InsertAttribute adds an attribute to the element at ownerKey.
+//
+// Deprecated: use DB.Update (see Document.InsertElement).
 func (d *Document) InsertAttribute(ownerKey, name, value string) (string, error) {
-	k, err := d.db.engine.Store().InsertAttribute(d.id, flex.Key(ownerKey), name, value)
+	k, err := d.reader().InsertAttribute(d.id, flex.Key(ownerKey), name, value)
 	return string(k), err
 }
 
 // UpdateText replaces the value of a text or attribute node, keeping the
 // value index (TC statistics) exact.
+//
+// Deprecated: use DB.Update (see Document.InsertElement).
 func (d *Document) UpdateText(key, newValue string) error {
-	return d.db.engine.Store().UpdateText(d.id, flex.Key(key), newValue)
+	return d.reader().UpdateText(d.id, flex.Key(key), newValue)
 }
 
 // RenameElement changes an element's name, maintaining the name index.
+//
+// Deprecated: use DB.Update (see Document.InsertElement).
 func (d *Document) RenameElement(key, newName string) error {
-	return d.db.engine.Store().RenameElement(d.id, flex.Key(key), newName)
+	return d.reader().RenameElement(d.id, flex.Key(key), newName)
 }
 
 // DeleteSubtree removes the node at key and its entire subtree.
+//
+// Deprecated: use DB.Update (see Document.InsertElement).
 func (d *Document) DeleteSubtree(key string) error {
-	return d.db.engine.Store().DeleteSubtree(d.id, flex.Key(key))
+	return d.reader().DeleteSubtree(d.id, flex.Key(key))
 }
 
 // WriteXML serializes the node at key (and its subtree) as XML to w.
 // Passing the root key of a query result exports matched fragments;
 // passing "a" (the document node) exports the whole document.
 func (d *Document) WriteXML(key string, w io.Writer) error {
-	return d.db.engine.Store().SerializeSubtree(d.id, flex.Key(key), w)
+	return d.reader().SerializeSubtree(d.id, flex.Key(key), w)
 }
 
 // NumericRangeCount returns the number of text nodes whose numeric value
 // lies in [lo, hi] (use math.Inf for open ends) — an O(log n) probe of
 // the numeric value index backing range predicates.
 func (d *Document) NumericRangeCount(lo, hi float64) (uint64, error) {
-	return d.db.engine.Store().NumericRangeCount(d.id, lo, true, hi, true)
+	return d.reader().NumericRangeCount(d.id, lo, true, hi, true)
 }
 
 // Node fetches the node with the given FLEX key.
 func (d *Document) Node(key string) (Node, bool, error) {
-	n, ok, err := d.db.engine.Store().Node(d.id, flex.Key(key))
+	n, ok, err := d.reader().Node(d.id, flex.Key(key))
 	if err != nil || !ok {
 		return Node{}, ok, err
 	}
