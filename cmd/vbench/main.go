@@ -53,6 +53,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if *remoteURL != "" {
+		runRemote()
+		return
+	}
+
 	if *metricsAddr != "" {
 		go func() {
 			mux := http.NewServeMux()

@@ -1,0 +1,257 @@
+package main
+
+// Remote load-generator mode: drive a running vamanad over HTTP with
+// thousands of concurrent connections and record client-observed
+// latency percentiles plus admission-control outcomes.
+//
+//	vamanad -xmark 0.05 -addr :8372 -max-inflight 16 -queue-depth 64 &
+//	vbench -remote http://localhost:8372 -remote-conns 1000 \
+//	       -remote-duration 10s -remote-out BENCH_remote.json
+//
+// Every rejection is counted by its typed reason (the daemon's JSON
+// envelope), so an overloaded run reports exactly how the excess was
+// shed — and any request that neither completes nor is rejected within
+// the client timeout is counted as hung, which a healthy daemon must
+// keep at zero.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vamana/internal/bench"
+)
+
+var (
+	remoteURL = flag.String("remote", "",
+		"load-generate against a running vamanad at this base URL instead of running the local sweep")
+	remoteConns = flag.Int("remote-conns", 1000,
+		"concurrent client connections in -remote mode")
+	remoteDuration = flag.Duration("remote-duration", 10*time.Second,
+		"how long to drive load in -remote mode")
+	remoteDoc = flag.String("remote-doc", "auction",
+		"document name to query in -remote mode")
+	remoteQueries = flag.String("remote-queries", "Q1",
+		"workload queries to drive in -remote mode (comma separated)")
+	remoteTenants = flag.Int("remote-tenants", 4,
+		"spread -remote load across this many tenant identities")
+	remoteTimeout = flag.Duration("remote-timeout", 30*time.Second,
+		"per-request client timeout in -remote mode (expiries count as hung)")
+	remoteOut = flag.String("remote-out", "",
+		"write the remote-mode JSON report here (default stdout)")
+)
+
+// remoteReport is the BENCH_remote.json schema.
+type remoteReport struct {
+	Benchmark string                  `json:"benchmark"`
+	URL       string                  `json:"url"`
+	Doc       string                  `json:"doc"`
+	Conns     int                     `json:"conns"`
+	Tenants   int                     `json:"tenants"`
+	DurationS float64                 `json:"duration_s"`
+	Queries   map[string]remoteSeries `json:"queries"`
+	Outcomes  remoteOutcomes          `json:"outcomes"`
+}
+
+type remoteSeries struct {
+	Requests int     `json:"requests"`
+	P50us    float64 `json:"p50_us"`
+	P95us    float64 `json:"p95_us"`
+	P99us    float64 `json:"p99_us"`
+	QPS      float64 `json:"qps"`
+}
+
+type remoteOutcomes struct {
+	OK       int            `json:"ok"`
+	Rejected map[string]int `json:"rejected"`
+	Errors   int            `json:"errors"`
+	Hung     int            `json:"hung"`
+}
+
+// workerResult is one connection's tally, merged after the run.
+type workerResult struct {
+	lat      map[string][]time.Duration
+	ok       int
+	rejected map[string]int
+	errors   int
+	hung     int
+}
+
+func runRemote() {
+	base := strings.TrimSuffix(*remoteURL, "/")
+	var queries []bench.Query
+	for _, id := range strings.Split(*remoteQueries, ",") {
+		q, ok := bench.QueryByID(strings.TrimSpace(id))
+		if !ok {
+			fatal(fmt.Errorf("unknown workload query %q", id))
+		}
+		queries = append(queries, q)
+	}
+
+	// One transport sized to keep every connection persistent: the
+	// concurrency level IS the connection count.
+	tr := &http.Transport{
+		MaxIdleConns:        *remoteConns + 8,
+		MaxIdleConnsPerHost: *remoteConns + 8,
+		MaxConnsPerHost:     0,
+		IdleConnTimeout:     2 * *remoteDuration,
+	}
+	client := &http.Client{Transport: tr, Timeout: *remoteTimeout}
+
+	// Warm the daemon's plan cache so the run measures the cached
+	// serving path, then verify the target is reachable.
+	for _, q := range queries {
+		resp, err := client.Get(queryURL(base, *remoteDoc, q.XPath))
+		if err != nil {
+			fatal(fmt.Errorf("daemon unreachable: %w", err))
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("warmup %s: HTTP %d (is -remote-doc %q loaded?)", q.ID, resp.StatusCode, *remoteDoc))
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "vbench: driving %d connections at %s for %v (%s on %q)\n",
+		*remoteConns, base, *remoteDuration, *remoteQueries, *remoteDoc)
+
+	deadline := time.Now().Add(*remoteDuration)
+	results := make([]workerResult, *remoteConns)
+	var wg sync.WaitGroup
+	for w := 0; w < *remoteConns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := workerResult{
+				lat:      make(map[string][]time.Duration),
+				rejected: make(map[string]int),
+			}
+			tenant := fmt.Sprintf("load-%d", w%max(1, *remoteTenants))
+			for i := 0; time.Now().Before(deadline); i++ {
+				q := queries[i%len(queries)]
+				req, err := http.NewRequest(http.MethodGet, queryURL(base, *remoteDoc, q.XPath), nil)
+				if err != nil {
+					res.errors++
+					continue
+				}
+				req.Header.Set("X-Vamana-Tenant", tenant)
+				start := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					// Client-side timeout: the request neither finished nor
+					// was rejected — the "hung" bucket the gate wants at 0.
+					if strings.Contains(err.Error(), "Client.Timeout") {
+						res.hung++
+					} else {
+						res.errors++
+					}
+					continue
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				elapsed := time.Since(start)
+				switch {
+				case err != nil:
+					res.errors++
+				case resp.StatusCode == http.StatusOK:
+					res.ok++
+					res.lat[q.ID] = append(res.lat[q.ID], elapsed)
+				case resp.StatusCode == http.StatusTooManyRequests ||
+					resp.StatusCode == http.StatusServiceUnavailable:
+					res.rejected[rejectionReason(body)]++
+				default:
+					res.errors++
+				}
+			}
+			results[w] = res
+		}(w)
+	}
+	wg.Wait()
+
+	report := remoteReport{
+		Benchmark: "vbench-remote",
+		URL:       base,
+		Doc:       *remoteDoc,
+		Conns:     *remoteConns,
+		Tenants:   *remoteTenants,
+		DurationS: remoteDuration.Seconds(),
+		Queries:   make(map[string]remoteSeries),
+		Outcomes:  remoteOutcomes{Rejected: make(map[string]int)},
+	}
+	merged := make(map[string][]time.Duration)
+	for _, res := range results {
+		report.Outcomes.OK += res.ok
+		report.Outcomes.Errors += res.errors
+		report.Outcomes.Hung += res.hung
+		for reason, n := range res.rejected {
+			report.Outcomes.Rejected[reason] += n
+		}
+		for id, ls := range res.lat {
+			merged[id] = append(merged[id], ls...)
+		}
+	}
+	for id, ls := range merged {
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		report.Queries[id] = remoteSeries{
+			Requests: len(ls),
+			P50us:    float64(percentile(ls, 0.50).Microseconds()),
+			P95us:    float64(percentile(ls, 0.95).Microseconds()),
+			P99us:    float64(percentile(ls, 0.99).Microseconds()),
+			QPS:      float64(len(ls)) / remoteDuration.Seconds(),
+		}
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if *remoteOut == "" {
+		os.Stdout.Write(out)
+	} else if err := os.WriteFile(*remoteOut, out, 0o644); err != nil {
+		fatal(err)
+	}
+
+	for id, s := range report.Queries {
+		fmt.Fprintf(os.Stderr, "vbench: %s p50 %.0fus p95 %.0fus p99 %.0fus (%d requests)\n",
+			id, s.P50us, s.P95us, s.P99us, s.Requests)
+	}
+	fmt.Fprintf(os.Stderr, "vbench: %d ok, %v rejected, %d errors, %d hung\n",
+		report.Outcomes.OK, report.Outcomes.Rejected, report.Outcomes.Errors, report.Outcomes.Hung)
+	if report.Outcomes.Hung > 0 {
+		fatal(fmt.Errorf("%d requests hung past the client timeout", report.Outcomes.Hung))
+	}
+}
+
+// queryURL builds the daemon query URL for one expression.
+func queryURL(base, doc, expr string) string {
+	return base + "/v1/query?" + url.Values{"doc": {doc}, "q": {expr}}.Encode()
+}
+
+// rejectionReason extracts the typed reason from a rejection envelope.
+func rejectionReason(body []byte) string {
+	var env struct {
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil || env.Reason == "" {
+		return "unknown"
+	}
+	return env.Reason
+}
+
+// percentile returns the p-quantile of sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,32 @@
+package govern
+
+// Per-tenant limit derivation. A serving daemon fronts one engine with
+// many tenants, each entitled to its own resource ceilings. The tenant's
+// configured Limits act as caps: a request may ask for less than its
+// tenant allows, never more, and a request that asks for nothing
+// inherits the tenant's ceiling outright. Deriving the effective budget
+// for a run is therefore a field-wise clamp, kept here so the serving
+// layer and any future multi-tenant frontend share one definition.
+
+// Clamp derives the effective limits for a request under a tenant
+// ceiling: for each budget, a non-zero ceiling field caps the request's
+// value (a zero request field — "unlimited" — collapses to the ceiling,
+// and a request above the ceiling is cut down to it); a zero ceiling
+// field leaves the request's own value in force. The result is never
+// more permissive than ceil in any dimension.
+func (l Limits) Clamp(ceil Limits) Limits {
+	out := l
+	if ceil.Timeout > 0 && (out.Timeout == 0 || out.Timeout > ceil.Timeout) {
+		out.Timeout = ceil.Timeout
+	}
+	if ceil.MaxResults > 0 && (out.MaxResults == 0 || out.MaxResults > ceil.MaxResults) {
+		out.MaxResults = ceil.MaxResults
+	}
+	if ceil.MaxPagesRead > 0 && (out.MaxPagesRead == 0 || out.MaxPagesRead > ceil.MaxPagesRead) {
+		out.MaxPagesRead = ceil.MaxPagesRead
+	}
+	if ceil.MaxDecodedRecords > 0 && (out.MaxDecodedRecords == 0 || out.MaxDecodedRecords > ceil.MaxDecodedRecords) {
+		out.MaxDecodedRecords = ceil.MaxDecodedRecords
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package govern
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLimitsClamp(t *testing.T) {
+	ceil := Limits{
+		Timeout:           time.Second,
+		MaxResults:        100,
+		MaxPagesRead:      1000,
+		MaxDecodedRecords: 0, // tenant leaves this budget open
+	}
+	cases := []struct {
+		name string
+		req  Limits
+		want Limits
+	}{
+		{
+			name: "unlimited request inherits every ceiling",
+			req:  Limits{},
+			want: Limits{Timeout: time.Second, MaxResults: 100, MaxPagesRead: 1000},
+		},
+		{
+			name: "request below the ceiling keeps its own budgets",
+			req:  Limits{Timeout: time.Millisecond, MaxResults: 5, MaxPagesRead: 10, MaxDecodedRecords: 7},
+			want: Limits{Timeout: time.Millisecond, MaxResults: 5, MaxPagesRead: 10, MaxDecodedRecords: 7},
+		},
+		{
+			name: "request above the ceiling is cut down",
+			req:  Limits{Timeout: time.Minute, MaxResults: 10000, MaxPagesRead: 1 << 30},
+			want: Limits{Timeout: time.Second, MaxResults: 100, MaxPagesRead: 1000},
+		},
+		{
+			name: "open ceiling field leaves the request in force",
+			req:  Limits{MaxDecodedRecords: 123456},
+			want: Limits{Timeout: time.Second, MaxResults: 100, MaxPagesRead: 1000, MaxDecodedRecords: 123456},
+		},
+	}
+	for _, tc := range cases {
+		if got := tc.req.Clamp(ceil); got != tc.want {
+			t.Errorf("%s: Clamp = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+
+	// A zero ceiling is the identity: clamping against "no tenant caps"
+	// must never tighten anything.
+	req := Limits{Timeout: time.Hour, MaxResults: 9, MaxPagesRead: 8, MaxDecodedRecords: 7}
+	if got := req.Clamp(Limits{}); got != req {
+		t.Errorf("zero ceiling changed limits: %+v", got)
+	}
+
+	// Clamp is idempotent: applying the same ceiling twice is a no-op.
+	once := (Limits{}).Clamp(ceil)
+	if twice := once.Clamp(ceil); twice != once {
+		t.Errorf("Clamp not idempotent: %+v then %+v", once, twice)
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGaugeAndCounterVec(t *testing.T) {
+	g := NewGauge("test_gauge_units", "Test gauge.")
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge value = %d, want 3", got)
+	}
+	if NewGauge("test_gauge_units", "dup") != g {
+		t.Fatal("duplicate gauge registration returned a new instance")
+	}
+
+	v := NewCounterVec("test_vec_total", "tenant", "Test vec.")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				v.Inc("alpha")
+				v.Add("beta", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Value("alpha"); got != 800 {
+		t.Fatalf("vec alpha = %d, want 800", got)
+	}
+	if got := v.Value("beta"); got != 1600 {
+		t.Fatalf("vec beta = %d, want 1600", got)
+	}
+	if got := v.Value("never"); got != 0 {
+		t.Fatalf("vec untouched label = %d, want 0", got)
+	}
+
+	snap := Snapshot()
+	if snap["test_gauge_units"] != 3 {
+		t.Fatalf("snapshot gauge = %d, want 3", snap["test_gauge_units"])
+	}
+	if snap[`test_vec_total{tenant="alpha"}`] != 800 {
+		t.Fatalf("snapshot vec = %d, want 800", snap[`test_vec_total{tenant="alpha"}`])
+	}
+
+	var sb strings.Builder
+	if err := WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE test_gauge_units gauge",
+		"test_gauge_units 3",
+		"# TYPE test_vec_total counter",
+		`test_vec_total{tenant="alpha"} 800`,
+		`test_vec_total{tenant="beta"} 1600`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Label values must appear sorted for deterministic scrapes.
+	if strings.Index(text, `tenant="alpha"`) > strings.Index(text, `tenant="beta"`) {
+		t.Error("vec label values not sorted in exposition")
+	}
+}

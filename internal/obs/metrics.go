@@ -40,6 +40,42 @@ var (
 	CostPlanRegressions = NewCounter("vamana_cost_plan_regressions_total",
 		"Compiles where calibrated costs ranked a different plan cheapest than raw costs.")
 
+	// Serving daemon (internal/serve): admission-control outcomes and
+	// instantaneous load. Rejections are split by reason so an operator
+	// can tell a saturated queue from an undersized tenant cap from a
+	// drain in progress.
+	ServerAdmitted = NewCounter("vamana_server_admitted_total",
+		"Requests admitted to execute (immediately or after queueing).")
+	ServerQueuedTotal = NewCounter("vamana_server_queued_total",
+		"Requests that waited in the admission queue before a decision.")
+	ServerRejectedQueueFull = NewCounter("vamana_server_rejected_queue_full_total",
+		"Requests rejected because the admission queue was at depth.")
+	ServerRejectedQueueTimeout = NewCounter("vamana_server_rejected_queue_timeout_total",
+		"Queued requests rejected after waiting the maximum queue time.")
+	ServerRejectedDraining = NewCounter("vamana_server_rejected_draining_total",
+		"Requests rejected because the server was draining.")
+	ServerRejectedTenant = NewCounter("vamana_server_rejected_tenant_total",
+		"Requests rejected at a tenant's in-flight cap.")
+	ServerQueueCanceled = NewCounter("vamana_server_queue_canceled_total",
+		"Queued requests abandoned by the client before admission.")
+	ServerInflight = NewGauge("vamana_server_inflight",
+		"Requests currently executing (admitted, not yet finished).")
+	ServerQueueDepth = NewGauge("vamana_server_queue_depth",
+		"Requests currently waiting in the admission queue.")
+	ServerQueueWait = NewHistogram("vamana_server_queue_wait_ns",
+		"Time admitted requests spent in the admission queue in nanoseconds.")
+
+	// Per-tenant traffic: the serving daemon stamps every outcome with
+	// the tenant label, so dashboards can attribute load and rejections.
+	TenantQueries = NewCounterVec("vamana_tenant_queries_total", "tenant",
+		"Queries finished per tenant (successful or failed).")
+	TenantRejections = NewCounterVec("vamana_tenant_rejections_total", "tenant",
+		"Admission rejections per tenant (all reasons).")
+	TenantResults = NewCounterVec("vamana_tenant_results_total", "tenant",
+		"Result nodes streamed per tenant.")
+	TenantUncached = NewCounterVec("vamana_tenant_uncached_compiles_total", "tenant",
+		"Queries compiled without plan-cache retention because the tenant's plan quota was full.")
+
 	// Governance layer: how query runs were stopped early. Classified at
 	// run finish from the iterator's terminal error.
 	QueriesCanceled = NewCounter("vamana_queries_canceled_total",

@@ -57,6 +57,8 @@ var registry struct {
 	mu         sync.Mutex
 	counters   []*Counter
 	histograms []*Histogram
+	gauges     []*Gauge
+	vecs       []*CounterVec
 }
 
 // numStripes spreads each metric's hot atomics over independent cache
@@ -239,10 +241,18 @@ func Snapshot() map[string]uint64 {
 	registry.mu.Lock()
 	counters := append([]*Counter(nil), registry.counters...)
 	histograms := append([]*Histogram(nil), registry.histograms...)
+	gauges := append([]*Gauge(nil), registry.gauges...)
+	vecs := append([]*CounterVec(nil), registry.vecs...)
 	registry.mu.Unlock()
 	out := make(map[string]uint64, len(counters)+2*len(histograms))
 	for _, c := range counters {
 		out[c.name] = c.Value()
+	}
+	for _, g := range gauges {
+		out[g.name] = uint64(g.Value())
+	}
+	for _, v := range vecs {
+		v.snapshotInto(out)
 	}
 	for _, h := range histograms {
 		s := h.Snapshot()
@@ -262,10 +272,25 @@ func WriteText(w io.Writer) error {
 	registry.mu.Lock()
 	counters := append([]*Counter(nil), registry.counters...)
 	histograms := append([]*Histogram(nil), registry.histograms...)
+	gauges := append([]*Gauge(nil), registry.gauges...)
+	vecs := append([]*CounterVec(nil), registry.vecs...)
 	registry.mu.Unlock()
 	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
 	for _, c := range counters {
 		if err := WriteCounterText(w, c.name, c.help, c.Value()); err != nil {
+			return err
+		}
+	}
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			g.name, g.help, g.name, g.name, g.Value()); err != nil {
+			return err
+		}
+	}
+	sort.Slice(vecs, func(i, j int) bool { return vecs[i].name < vecs[j].name })
+	for _, v := range vecs {
+		if err := v.writeText(w); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,265 @@
+package serve
+
+// Admission control: the daemon's first line of defense against
+// overload. Every query request passes through one admission point that
+// enforces a global concurrency ceiling (MaxInflight executing
+// requests), a bounded FIFO queue in front of it (QueueDepth waiters,
+// each for at most QueueWait), and per-tenant in-flight caps. Everything
+// past the ceiling is rejected *immediately* with a typed error carrying
+// a retry-after hint — the load-shedding posture a daemon needs so that
+// overload degrades into fast, honest rejections instead of unbounded
+// queueing and collapsed tail latency.
+//
+// The state machine has five transitions, each with its own typed
+// outcome and wire status (see admission_test.go for the table):
+//
+//	admit         in-flight < MaxInflight          → run now
+//	queue         in-flight full, queue has room   → wait, then admit
+//	reject-full   queue at QueueDepth              → OverloadError{queue-full}
+//	reject-wait   queued longer than QueueWait     → OverloadError{queue-timeout}
+//	reject-tenant tenant at its in-flight cap      → OverloadError{tenant-busy}
+//
+// plus drain: Drain rejects new arrivals and queued waiters with
+// OverloadError{draining} while admitted requests finish undisturbed.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vamana/internal/obs"
+)
+
+// RejectReason classifies an admission rejection.
+type RejectReason string
+
+// Rejection reasons, also used as the "reason" field on the wire.
+const (
+	// RejectQueueFull: the admission queue was already at QueueDepth.
+	RejectQueueFull RejectReason = "queue-full"
+	// RejectQueueTimeout: the request waited QueueWait without a slot
+	// freeing up.
+	RejectQueueTimeout RejectReason = "queue-timeout"
+	// RejectDraining: the server is draining and accepts no new work.
+	RejectDraining RejectReason = "draining"
+	// RejectTenantBusy: the request's tenant is at its in-flight cap.
+	RejectTenantBusy RejectReason = "tenant-busy"
+)
+
+// ErrOverloaded is the sentinel every admission rejection unwraps to;
+// the concrete error is always an *OverloadError.
+var ErrOverloaded = errors.New("vamanad: overloaded")
+
+// OverloadError is a typed admission rejection: which limit tripped,
+// which tenant the request belonged to, and how long the client should
+// back off before retrying. On the wire it maps to HTTP 429 (503 for
+// draining) with a Retry-After header.
+type OverloadError struct {
+	Reason     RejectReason
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("vamanad: request rejected (%s, tenant %q, retry after %v)",
+		e.Reason, e.Tenant, e.RetryAfter)
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// waiter is one queued request. The granter (a releasing request, or
+// Drain) sends exactly one value on ready: nil for an admission (the
+// in-flight slot and tenant count are already transferred) or a typed
+// rejection.
+type waiter struct {
+	ready chan error
+	tn    *tenant
+}
+
+// admission is the daemon's admission controller. One instance guards
+// one Server; all fields are set at construction and immutable except
+// the mutex-guarded state.
+type admission struct {
+	maxInflight int
+	queueDepth  int
+	queueWait   time.Duration
+
+	mu       sync.Mutex
+	inflight int
+	queue    []*waiter
+	draining bool
+}
+
+func newAdmission(maxInflight, queueDepth int, queueWait time.Duration) *admission {
+	return &admission{maxInflight: maxInflight, queueDepth: queueDepth, queueWait: queueWait}
+}
+
+// retryAfter is the backoff hint attached to a rejection: long enough
+// that an obedient client re-arrives after the queue has had a chance to
+// turn over, short enough that capacity freed by a drained queue is not
+// left idle.
+func (a *admission) retryAfter() time.Duration {
+	if a.queueWait > 0 {
+		return a.queueWait
+	}
+	return time.Second
+}
+
+// acquire admits the request, queues it, or rejects it with a typed
+// error. On nil return the caller holds one in-flight slot (global and
+// tenant) and must release(tn) exactly once when the request finishes.
+func (a *admission) acquire(ctx context.Context, tn *tenant) error {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		obs.ServerRejectedDraining.Inc()
+		obs.TenantRejections.Inc(tn.name)
+		return &OverloadError{Reason: RejectDraining, Tenant: tn.name, RetryAfter: a.retryAfter()}
+	}
+	if tn.cfg.MaxInflight > 0 && tn.inflight >= tn.cfg.MaxInflight {
+		a.mu.Unlock()
+		obs.ServerRejectedTenant.Inc()
+		obs.TenantRejections.Inc(tn.name)
+		return &OverloadError{Reason: RejectTenantBusy, Tenant: tn.name, RetryAfter: a.retryAfter()}
+	}
+	if a.inflight < a.maxInflight {
+		a.inflight++
+		tn.inflight++
+		obs.ServerInflight.Set(int64(a.inflight))
+		a.mu.Unlock()
+		obs.ServerAdmitted.Inc()
+		return nil
+	}
+	if len(a.queue) >= a.queueDepth {
+		a.mu.Unlock()
+		obs.ServerRejectedQueueFull.Inc()
+		obs.TenantRejections.Inc(tn.name)
+		return &OverloadError{Reason: RejectQueueFull, Tenant: tn.name, RetryAfter: a.retryAfter()}
+	}
+	w := &waiter{ready: make(chan error, 1), tn: tn}
+	a.queue = append(a.queue, w)
+	obs.ServerQueueDepth.Set(int64(len(a.queue)))
+	a.mu.Unlock()
+	obs.ServerQueuedTotal.Inc()
+
+	start := time.Now()
+	timer := time.NewTimer(a.queueWait)
+	defer timer.Stop()
+	select {
+	case err := <-w.ready:
+		// Granted a transferred slot, or rejected by Drain / a tenant-cap
+		// check at grant time.
+		if err == nil {
+			obs.ServerQueueWait.Observe(time.Since(start))
+			obs.ServerAdmitted.Inc()
+		}
+		return err
+	case <-ctx.Done():
+		if a.abandon(w) {
+			obs.ServerQueueCanceled.Inc()
+			return ctxError(ctx)
+		}
+		// A grant (or rejection) raced the cancellation; the client is
+		// gone either way, so give any granted slot straight back.
+		if err := <-w.ready; err == nil {
+			a.release(tn)
+		}
+		obs.ServerQueueCanceled.Inc()
+		return ctxError(ctx)
+	case <-timer.C:
+		if a.abandon(w) {
+			obs.ServerRejectedQueueTimeout.Inc()
+			obs.TenantRejections.Inc(tn.name)
+			return &OverloadError{Reason: RejectQueueTimeout, Tenant: tn.name, RetryAfter: a.retryAfter()}
+		}
+		// The grant beat the timer by a hair — the request is still live,
+		// so take the slot and run.
+		if err := <-w.ready; err != nil {
+			return err
+		}
+		obs.ServerQueueWait.Observe(time.Since(start))
+		obs.ServerAdmitted.Inc()
+		return nil
+	}
+}
+
+// release returns the request's slot. If an eligible waiter is queued
+// the slot transfers directly to it (the global in-flight count never
+// dips, so no late arrival can steal ahead of the queue); waiters whose
+// tenant has meanwhile reached its cap are rejected on the spot, exactly
+// as they would have been at arrival.
+func (a *admission) release(tn *tenant) {
+	a.mu.Lock()
+	tn.inflight--
+	for len(a.queue) > 0 {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		if w.tn.cfg.MaxInflight > 0 && w.tn.inflight >= w.tn.cfg.MaxInflight {
+			obs.ServerRejectedTenant.Inc()
+			obs.TenantRejections.Inc(w.tn.name)
+			w.ready <- &OverloadError{Reason: RejectTenantBusy, Tenant: w.tn.name, RetryAfter: a.retryAfter()}
+			continue
+		}
+		w.tn.inflight++
+		obs.ServerQueueDepth.Set(int64(len(a.queue)))
+		a.mu.Unlock()
+		w.ready <- nil
+		return
+	}
+	a.inflight--
+	obs.ServerInflight.Set(int64(a.inflight))
+	a.mu.Unlock()
+}
+
+// abandon removes w from the queue if it is still waiting. A false
+// return means a granter already popped it and its ready channel holds
+// (or will imminently hold) the decision.
+func (a *admission) abandon(w *waiter) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			obs.ServerQueueDepth.Set(int64(len(a.queue)))
+			return true
+		}
+	}
+	return false
+}
+
+// drain flips the controller into draining mode: every queued waiter is
+// rejected with a typed draining error, and every future acquire is
+// rejected at the door. Requests already admitted are untouched — their
+// release still runs, it just finds no waiters.
+func (a *admission) drain() {
+	a.mu.Lock()
+	a.draining = true
+	queued := a.queue
+	a.queue = nil
+	obs.ServerQueueDepth.Set(0)
+	retry := a.retryAfter()
+	a.mu.Unlock()
+	for _, w := range queued {
+		obs.ServerRejectedDraining.Inc()
+		obs.TenantRejections.Inc(w.tn.name)
+		w.ready <- &OverloadError{Reason: RejectDraining, Tenant: w.tn.name, RetryAfter: retry}
+	}
+}
+
+// stats reports the controller's instantaneous state.
+func (a *admission) stats() (inflight, queued int, draining bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight, len(a.queue), a.draining
+}
+
+// ctxError maps a done context to the governance error taxonomy the
+// rest of the engine uses.
+func ctxError(ctx context.Context) error {
+	if err := ctx.Err(); errors.Is(err, context.DeadlineExceeded) {
+		return context.DeadlineExceeded
+	}
+	return context.Canceled
+}

@@ -1,0 +1,284 @@
+package serve
+
+// White-box table tests for the admission state machine: every
+// transition in the admission.go table — admit, queue-then-admit,
+// reject-at-depth, queue-timeout, per-tenant budget trips at arrival
+// and at grant time, cancellation while queued, and drain-while-queued
+// — with the typed error asserted each time. The HTTP mapping of the
+// same transitions is covered in http_test.go.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"vamana"
+)
+
+// limits builds a Limits with the two budgets these tests exercise.
+func limits(results, pages uint64) vamana.Limits {
+	return vamana.Limits{MaxResults: results, MaxPagesRead: pages}
+}
+
+// admitted holds a slot acquired in the test body; release via fn.
+type admitted struct {
+	tn *tenant
+}
+
+func mustAcquire(t *testing.T, a *admission, tn *tenant) admitted {
+	t.Helper()
+	if err := a.acquire(context.Background(), tn); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	return admitted{tn: tn}
+}
+
+// wantReject asserts err is an *OverloadError with the given reason that
+// unwraps to ErrOverloaded.
+func wantReject(t *testing.T, err error, reason RejectReason, tenant string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want %s rejection, got admit", reason)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("rejection does not unwrap to ErrOverloaded: %v", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("rejection is not *OverloadError: %T %v", err, err)
+	}
+	if oe.Reason != reason {
+		t.Fatalf("rejection reason = %s, want %s (%v)", oe.Reason, reason, err)
+	}
+	if tenant != "" && oe.Tenant != tenant {
+		t.Fatalf("rejection tenant = %q, want %q", oe.Tenant, tenant)
+	}
+	if oe.RetryAfter <= 0 {
+		t.Fatalf("rejection retry-after = %v, want > 0", oe.RetryAfter)
+	}
+}
+
+func TestAdmissionTransitions(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("admit", func(t *testing.T) {
+		checkGoroutines(t)
+		a := newAdmission(2, 2, 50*time.Millisecond)
+		tn := newTenant("t", TenantConfig{})
+		g1 := mustAcquire(t, a, tn)
+		g2 := mustAcquire(t, a, tn)
+		inflight, queued, draining := a.stats()
+		if inflight != 2 || queued != 0 || draining {
+			t.Fatalf("stats = %d/%d/%v, want 2/0/false", inflight, queued, draining)
+		}
+		a.release(g1.tn)
+		a.release(g2.tn)
+		if inflight, _, _ := a.stats(); inflight != 0 {
+			t.Fatalf("inflight after release = %d", inflight)
+		}
+	})
+
+	t.Run("queue then admit FIFO", func(t *testing.T) {
+		checkGoroutines(t)
+		a := newAdmission(1, 4, time.Second)
+		tn := newTenant("t", TenantConfig{})
+		g := mustAcquire(t, a, tn)
+
+		// Two queued requests; the slot must transfer in arrival order.
+		order := make(chan int, 2)
+		ready := make(chan struct{}, 2)
+		for i := 1; i <= 2; i++ {
+			go func(i int) {
+				// Serialize arrival so FIFO order is deterministic.
+				<-ready
+				if err := a.acquire(ctx, tn); err != nil {
+					t.Errorf("queued acquire %d: %v", i, err)
+					order <- -i
+					return
+				}
+				order <- i
+			}(i)
+			ready <- struct{}{}
+			waitQueued(t, a, i)
+		}
+
+		a.release(g.tn) // transfers to waiter 1
+		if got := <-order; got != 1 {
+			t.Fatalf("first admitted waiter = %d, want 1", got)
+		}
+		a.release(tn) // transfers to waiter 2
+		if got := <-order; got != 2 {
+			t.Fatalf("second admitted waiter = %d, want 2", got)
+		}
+		a.release(tn)
+	})
+
+	t.Run("reject at queue depth", func(t *testing.T) {
+		checkGoroutines(t)
+		a := newAdmission(1, 1, time.Second)
+		tn := newTenant("t", TenantConfig{})
+		g := mustAcquire(t, a, tn)
+		done := make(chan error, 1)
+		go func() { done <- a.acquire(ctx, tn) }()
+		waitQueued(t, a, 1)
+
+		// Queue full: immediate typed rejection.
+		wantReject(t, a.acquire(ctx, tn), RejectQueueFull, "t")
+
+		a.release(g.tn)
+		if err := <-done; err != nil {
+			t.Fatalf("queued request: %v", err)
+		}
+		a.release(tn)
+	})
+
+	t.Run("queue timeout", func(t *testing.T) {
+		checkGoroutines(t)
+		a := newAdmission(1, 4, 20*time.Millisecond)
+		tn := newTenant("t", TenantConfig{})
+		g := mustAcquire(t, a, tn)
+		err := a.acquire(ctx, tn) // queues, then times out
+		wantReject(t, err, RejectQueueTimeout, "t")
+		a.release(g.tn)
+	})
+
+	t.Run("tenant budget trip at arrival", func(t *testing.T) {
+		checkGoroutines(t)
+		a := newAdmission(8, 8, time.Second)
+		tn := newTenant("capped", TenantConfig{MaxInflight: 1})
+		g := mustAcquire(t, a, tn)
+		wantReject(t, a.acquire(ctx, tn), RejectTenantBusy, "capped")
+		// Another tenant is unaffected.
+		other := newTenant("other", TenantConfig{})
+		g2 := mustAcquire(t, a, other)
+		a.release(g.tn)
+		a.release(g2.tn)
+	})
+
+	t.Run("tenant budget trip at grant time", func(t *testing.T) {
+		checkGoroutines(t)
+		// A waiter passes the arrival-time tenant check but its tenant
+		// reaches the cap while it is queued; the grant must reject it
+		// exactly as arrival would have.
+		a := newAdmission(1, 4, time.Second)
+		capped := newTenant("capped", TenantConfig{MaxInflight: 1})
+		other := newTenant("other", TenantConfig{})
+		gOther := mustAcquire(t, a, other) // fills the single global slot
+
+		done := make(chan error, 1)
+		go func() { done <- a.acquire(ctx, capped) }() // queues: tenant idle, global full
+		waitQueued(t, a, 1)
+
+		// capped reaches its cap through a slot handed over directly.
+		a.mu.Lock()
+		capped.inflight = 1 // simulate a concurrently admitted capped request
+		a.mu.Unlock()
+
+		a.release(gOther.tn) // grant reaches the waiter, finds its tenant at cap
+		wantReject(t, <-done, RejectTenantBusy, "capped")
+
+		// The slot fell back to the free pool (no waiters left).
+		if inflight, queued, _ := a.stats(); inflight != 0 || queued != 0 {
+			t.Fatalf("stats after grant-time reject = %d/%d, want 0/0", inflight, queued)
+		}
+		a.mu.Lock()
+		capped.inflight = 0
+		a.mu.Unlock()
+	})
+
+	t.Run("cancel while queued", func(t *testing.T) {
+		checkGoroutines(t)
+		a := newAdmission(1, 4, time.Second)
+		tn := newTenant("t", TenantConfig{})
+		g := mustAcquire(t, a, tn)
+		cctx, cancel := context.WithCancel(ctx)
+		done := make(chan error, 1)
+		go func() { done <- a.acquire(cctx, tn) }()
+		waitQueued(t, a, 1)
+		cancel()
+		if err := <-done; !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled waiter err = %v, want context.Canceled", err)
+		}
+		a.release(g.tn)
+		if inflight, queued, _ := a.stats(); inflight != 0 || queued != 0 {
+			t.Fatalf("stats after cancel = %d/%d, want 0/0", inflight, queued)
+		}
+	})
+
+	t.Run("drain while queued", func(t *testing.T) {
+		checkGoroutines(t)
+		a := newAdmission(1, 4, time.Minute)
+		tn := newTenant("t", TenantConfig{})
+		g := mustAcquire(t, a, tn)
+		done := make(chan error, 1)
+		go func() { done <- a.acquire(ctx, tn) }()
+		waitQueued(t, a, 1)
+
+		a.drain()
+		wantReject(t, <-done, RejectDraining, "t")
+		// New arrivals rejected at the door.
+		wantReject(t, a.acquire(ctx, tn), RejectDraining, "t")
+		// The admitted request is untouched and its release is clean.
+		if inflight, _, draining := a.stats(); inflight != 1 || !draining {
+			t.Fatalf("stats during drain = %d inflight, draining=%v", inflight, draining)
+		}
+		a.release(g.tn)
+		if inflight, _, _ := a.stats(); inflight != 0 {
+			t.Fatalf("inflight after drained release = %d", inflight)
+		}
+	})
+}
+
+// waitQueued blocks until the admission queue holds n waiters.
+func waitQueued(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, queued, _ := a.stats(); queued >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached %d waiters", n)
+}
+
+func TestTenantPlanQuota(t *testing.T) {
+	tn := newTenant("q", TenantConfig{PlanQuota: 2})
+	if !tn.allowCached("//a") || !tn.allowCached("//b") {
+		t.Fatal("first two distinct expressions must be cacheable")
+	}
+	if tn.allowCached("//c") {
+		t.Fatal("third distinct expression exceeded the quota but was allowed")
+	}
+	// Repeats of admitted expressions stay cacheable; the rejected one
+	// stays rejected.
+	if !tn.allowCached("//a") || !tn.allowCached("//b") || tn.allowCached("//c") {
+		t.Fatal("quota membership not sticky")
+	}
+	// Unlimited tenant.
+	open := newTenant("open", TenantConfig{})
+	for _, e := range []string{"//a", "//b", "//c", "//d"} {
+		if !open.allowCached(e) {
+			t.Fatalf("unlimited tenant rejected %s", e)
+		}
+	}
+}
+
+func TestLimitsClampInConfig(t *testing.T) {
+	// The serving path clamps request limits against the tenant ceiling;
+	// spot-check the integration here (full matrix in internal/govern).
+	tn := newTenant("t", TenantConfig{Limits: limits(100, 0)})
+	got := limits(0, 0).Clamp(tn.cfg.Limits)
+	if got.MaxResults != 100 {
+		t.Fatalf("unset request budget did not inherit ceiling: %+v", got)
+	}
+	got = limits(10, 0).Clamp(tn.cfg.Limits)
+	if got.MaxResults != 10 {
+		t.Fatalf("tighter request budget was loosened: %+v", got)
+	}
+	got = limits(500, 0).Clamp(tn.cfg.Limits)
+	if got.MaxResults != 100 {
+		t.Fatalf("over-ceiling request budget not clamped: %+v", got)
+	}
+}

@@ -1,0 +1,51 @@
+package serve
+
+// Goroutine-leak detection for the server test battery. Every serving
+// test registers checkGoroutines at setup; at teardown it polls until
+// the goroutine count returns to the pre-test baseline (in-flight
+// handlers, queue waiters, and drain helpers all terminating) and fails
+// with a full stack dump if any goroutine outlives the test.
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// checkGoroutines snapshots the goroutine baseline and registers a
+// cleanup that fails the test if goroutines created during the test are
+// still alive shortly after it finishes.
+func checkGoroutines(t *testing.T) {
+	t.Helper()
+	base := countServeGoroutines()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for time.Now().Before(deadline) {
+			if n = countServeGoroutines(); n <= base {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d serve-related goroutines alive, baseline %d\n%s", n, base, buf)
+	})
+}
+
+// countServeGoroutines counts goroutines whose stacks mention this
+// module — counting everything would make the check flaky against
+// runtime and testing-framework helpers that come and go on their own
+// schedule.
+func countServeGoroutines() int {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	n := 0
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if strings.Contains(g, "vamana/internal/serve") || strings.Contains(g, "vamana.(") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,156 @@
+package serve
+
+// Tenants: the unit of isolation the daemon multiplexes one engine
+// across. A tenant carries three kinds of entitlement:
+//
+//   - resource ceilings (vamana.Limits) clamped over every query's own
+//     budgets — a tenant can ask for less than its ceiling, never more;
+//   - an in-flight cap, enforced by the admission controller;
+//   - a plan-cache quota: how many distinct expressions the tenant may
+//     hold in the engine's shared plan cache. Queries beyond the quota
+//     still run, they just compile uncached per call — one tenant
+//     spraying unique expressions cannot evict the working set the
+//     other tenants' serving latency depends on.
+
+import (
+	"sync"
+
+	"vamana"
+)
+
+// TenantConfig is one tenant's entitlements. The zero value is fully
+// open: no budget ceilings, no in-flight cap, no plan quota.
+type TenantConfig struct {
+	// Limits caps every query's resource budgets, field-wise (see
+	// govern.Limits.Clamp): a request inherits each non-zero ceiling it
+	// does not set tighter itself.
+	Limits vamana.Limits `json:"limits"`
+	// MaxInflight caps the tenant's concurrently executing queries;
+	// requests beyond it are rejected with OverloadError{tenant-busy}.
+	MaxInflight int `json:"max_inflight"`
+	// PlanQuota bounds the distinct expressions this tenant may retain
+	// in the shared plan cache; 0 is unlimited.
+	PlanQuota int `json:"plan_quota"`
+}
+
+// tenant is the registry's live record for one tenant.
+type tenant struct {
+	name string
+	cfg  TenantConfig
+
+	// inflight is guarded by the admission controller's mutex — the cap
+	// check and the queue decision must be one atomic step.
+	inflight int
+
+	// plans is the tenant's cacheable-expression set, capped at
+	// PlanQuota; nil when the quota is unlimited.
+	mu    sync.Mutex
+	plans map[string]struct{}
+}
+
+func newTenant(name string, cfg TenantConfig) *tenant {
+	t := &tenant{name: name, cfg: cfg}
+	if cfg.PlanQuota > 0 {
+		t.plans = make(map[string]struct{}, cfg.PlanQuota)
+	}
+	return t
+}
+
+// allowCached reports whether expr may go through the engine's plan
+// cache for this tenant. Expressions already admitted always may
+// (repeat queries stay fast); new expressions are admitted until the
+// quota is full, after which they compile uncached.
+func (t *tenant) allowCached(expr string) bool {
+	if t.plans == nil {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.plans[expr]; ok {
+		return true
+	}
+	if len(t.plans) < t.cfg.PlanQuota {
+		t.plans[expr] = struct{}{}
+		return true
+	}
+	return false
+}
+
+// TenantStats is one tenant's live serving state, reported by
+// Server.Stats and /v1/stats.
+type TenantStats struct {
+	Inflight    int `json:"inflight"`
+	MaxInflight int `json:"max_inflight,omitempty"`
+	PlanQuota   int `json:"plan_quota,omitempty"`
+	PlansCached int `json:"plans_cached"`
+}
+
+// registry resolves tenant names to live tenant records. Configured
+// tenants are materialized up front; unknown names share the default
+// entitlements but are tracked individually, so their metrics and
+// in-flight caps stay per-tenant.
+type registry struct {
+	def TenantConfig
+
+	mu sync.RWMutex
+	m  map[string]*tenant
+}
+
+func newRegistry(def TenantConfig, tenants map[string]TenantConfig) *registry {
+	r := &registry{def: def, m: make(map[string]*tenant, len(tenants)+1)}
+	for name, cfg := range tenants {
+		r.m[name] = newTenant(name, cfg)
+	}
+	return r
+}
+
+// DefaultTenantName is the tenant requests without an explicit tenant
+// identity are attributed to.
+const DefaultTenantName = "default"
+
+// get returns the live record for name, creating a default-entitled one
+// on first sight.
+func (r *registry) get(name string) *tenant {
+	if name == "" {
+		name = DefaultTenantName
+	}
+	r.mu.RLock()
+	t := r.m[name]
+	r.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t = r.m[name]; t == nil {
+		t = newTenant(name, r.def)
+		r.m[name] = t
+	}
+	return t
+}
+
+// snapshot reports every known tenant's live state.
+func (r *registry) snapshot(adm *admission) map[string]TenantStats {
+	r.mu.RLock()
+	names := make([]*tenant, 0, len(r.m))
+	for _, t := range r.m {
+		names = append(names, t)
+	}
+	r.mu.RUnlock()
+	out := make(map[string]TenantStats, len(names))
+	for _, t := range names {
+		t.mu.Lock()
+		cached := len(t.plans)
+		t.mu.Unlock()
+		adm.mu.Lock()
+		inflight := t.inflight
+		adm.mu.Unlock()
+		out[t.name] = TenantStats{
+			Inflight:    inflight,
+			MaxInflight: t.cfg.MaxInflight,
+			PlanQuota:   t.cfg.PlanQuota,
+			PlansCached: cached,
+		}
+	}
+	return out
+}

@@ -111,4 +111,19 @@ echo "== mixed read/write gate (reader p95 with paced writer, 1.10x budget)"
 # TestMixedReadWriteGate.
 VAMANA_MIXED_GATE=1 go test -race -run '^TestMixedReadWriteGate$' -v -count 1 -timeout 20m .
 
+echo "== server battery under the race detector"
+# Admission state machine on the wire, concurrent tenants vs a
+# committing writer with byte-identical streams, graceful drain
+# (including crash-during-drain recovery), goroutine-leak checks —
+# the vamanad proof obligations. Included in the plain ./... -race
+# pass above, but run with -count 1 here so a cached result never
+# masks a flaky race.
+go test -race -count 1 ./internal/serve
+
+echo "== remote overhead gate (vamanad HTTP vs in-process, 3x budget)"
+# Client-observed cached Q1 p95 over loopback HTTP vs in-process p95,
+# paired interleaved rounds, best-of-rounds — see
+# TestRemoteOverheadGate.
+VAMANA_REMOTE_GATE=1 go test -run '^TestRemoteOverheadGate$' -v -count 1 .
+
 echo "OK"

@@ -180,6 +180,27 @@ func (db *DB) dropShared() {
 	}
 }
 
+// refreshShared ensures a fresh shared snapshot is installed, so every
+// auto-snapshot read path — queries and direct Document reads alike —
+// has a committed version to serve from. Update calls it before running
+// its function: otherwise reads during the first-ever transaction (no
+// commit has installed a snapshot yet) would fall back to the live
+// trees and observe the transaction's buffered writes.
+func (db *DB) refreshShared() {
+	if sn := db.acquireShared(); sn != nil {
+		sn.Unref()
+		return
+	}
+	sn, err := db.engine.Snapshot()
+	if err != nil {
+		return
+	}
+	if !db.shared.CompareAndSwap(nil, sn) {
+		// Lost an install race; the winner is at least as fresh.
+		sn.Close()
+	}
+}
+
 // Txn is an open write transaction, passed to the function run by
 // DB.Update. All mutations made through it become visible atomically
 // when the function returns nil; none survive when it returns an error.
@@ -204,6 +225,9 @@ type Txn struct {
 // DB.Query observes the new version immediately and never falls back to
 // contended live-store reads in between.
 func (db *DB) Update(fn func(*Txn) error) error {
+	// Make sure direct reads have a committed snapshot to serve from
+	// while the transaction is open (see refreshShared).
+	db.refreshShared()
 	// The installed shared snapshot seeds the replacement's node caches
 	// when it is still the directly preceding committed state (checked
 	// under the writer lock at commit; a racing uninstall at worst costs

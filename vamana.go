@@ -208,9 +208,28 @@ type Document struct {
 	snap *Snapshot
 }
 
-// reader returns the store this handle reads from: the pinned snapshot
-// store for snapshot-bound handles, the live store otherwise.
-func (d *Document) reader() *mass.Store {
+// readStore returns the store this handle reads from, plus a release to
+// call when the read finishes: the pinned snapshot store for
+// snapshot-bound handles; otherwise the shared committed snapshot when
+// one is installed — so direct reads never observe an open
+// transaction's buffered writes — falling back to the live store only
+// when no snapshot exists (in which case no transaction has ever run,
+// and DB.Update installs one before its function starts).
+func (d *Document) readStore() (*mass.Store, func()) {
+	if d.snap != nil {
+		return d.snap.cs.Store(), func() {}
+	}
+	if sn := d.db.acquireShared(); sn != nil {
+		return sn.Store(), sn.Unref
+	}
+	return d.db.engine.Store(), func() {}
+}
+
+// writer returns the store mutations apply to. Snapshot-bound handles
+// get their read-only snapshot store, whose mutators fail with
+// ErrReadOnlySnapshot; live handles always mutate the live trees, never
+// the shared read snapshot.
+func (d *Document) writer() *mass.Store {
 	if d.snap != nil {
 		return d.snap.cs.Store()
 	}
@@ -674,7 +693,8 @@ type Stats struct {
 
 // Stats returns node-count statistics for the document.
 func (d *Document) Stats() (Stats, error) {
-	s := d.reader()
+	s, release := d.readStore()
+	defer release()
 	var st Stats
 	var err error
 	if st.Nodes, err = s.CountNodes(d.id); err != nil {
@@ -690,19 +710,25 @@ func (d *Document) Stats() (Stats, error) {
 // CountName returns the number of elements with the given name — COUNT in
 // the paper's cost model.
 func (d *Document) CountName(name string) (uint64, error) {
-	return d.reader().CountName(d.id, name)
+	s, release := d.readStore()
+	defer release()
+	return s.CountName(d.id, name)
 }
 
 // TextCount returns the number of text nodes whose value equals v — TC in
 // the paper's cost model.
 func (d *Document) TextCount(v string) (uint64, error) {
-	return d.reader().TextCount(d.id, v, "")
+	s, release := d.readStore()
+	defer release()
+	return s.TextCount(d.id, v, "")
 }
 
 // StringValue computes the XPath string-value of the node with the given
 // FLEX key.
 func (d *Document) StringValue(key string) (string, error) {
-	return d.reader().StringValue(d.id, flex.Key(key))
+	s, release := d.readStore()
+	defer release()
+	return s.StringValue(d.id, flex.Key(key))
 }
 
 // InsertElement inserts a new element named name as a content child of
@@ -717,7 +743,7 @@ func (d *Document) StringValue(key string) (string, error) {
 // group-committed version. This per-operation form commits and
 // journals each call individually.
 func (d *Document) InsertElement(parentKey string, pos int, name string) (string, error) {
-	k, err := d.reader().InsertElement(d.id, flex.Key(parentKey), pos, name)
+	k, err := d.writer().InsertElement(d.id, flex.Key(parentKey), pos, name)
 	return string(k), err
 }
 
@@ -725,7 +751,7 @@ func (d *Document) InsertElement(parentKey string, pos int, name string) (string
 //
 // Deprecated: use DB.Update (see Document.InsertElement).
 func (d *Document) InsertText(parentKey string, pos int, value string) (string, error) {
-	k, err := d.reader().InsertText(d.id, flex.Key(parentKey), pos, value)
+	k, err := d.writer().InsertText(d.id, flex.Key(parentKey), pos, value)
 	return string(k), err
 }
 
@@ -733,7 +759,7 @@ func (d *Document) InsertText(parentKey string, pos int, value string) (string, 
 //
 // Deprecated: use DB.Update (see Document.InsertElement).
 func (d *Document) InsertAttribute(ownerKey, name, value string) (string, error) {
-	k, err := d.reader().InsertAttribute(d.id, flex.Key(ownerKey), name, value)
+	k, err := d.writer().InsertAttribute(d.id, flex.Key(ownerKey), name, value)
 	return string(k), err
 }
 
@@ -742,40 +768,46 @@ func (d *Document) InsertAttribute(ownerKey, name, value string) (string, error)
 //
 // Deprecated: use DB.Update (see Document.InsertElement).
 func (d *Document) UpdateText(key, newValue string) error {
-	return d.reader().UpdateText(d.id, flex.Key(key), newValue)
+	return d.writer().UpdateText(d.id, flex.Key(key), newValue)
 }
 
 // RenameElement changes an element's name, maintaining the name index.
 //
 // Deprecated: use DB.Update (see Document.InsertElement).
 func (d *Document) RenameElement(key, newName string) error {
-	return d.reader().RenameElement(d.id, flex.Key(key), newName)
+	return d.writer().RenameElement(d.id, flex.Key(key), newName)
 }
 
 // DeleteSubtree removes the node at key and its entire subtree.
 //
 // Deprecated: use DB.Update (see Document.InsertElement).
 func (d *Document) DeleteSubtree(key string) error {
-	return d.reader().DeleteSubtree(d.id, flex.Key(key))
+	return d.writer().DeleteSubtree(d.id, flex.Key(key))
 }
 
 // WriteXML serializes the node at key (and its subtree) as XML to w.
 // Passing the root key of a query result exports matched fragments;
 // passing "a" (the document node) exports the whole document.
 func (d *Document) WriteXML(key string, w io.Writer) error {
-	return d.reader().SerializeSubtree(d.id, flex.Key(key), w)
+	s, release := d.readStore()
+	defer release()
+	return s.SerializeSubtree(d.id, flex.Key(key), w)
 }
 
 // NumericRangeCount returns the number of text nodes whose numeric value
 // lies in [lo, hi] (use math.Inf for open ends) — an O(log n) probe of
 // the numeric value index backing range predicates.
 func (d *Document) NumericRangeCount(lo, hi float64) (uint64, error) {
-	return d.reader().NumericRangeCount(d.id, lo, true, hi, true)
+	s, release := d.readStore()
+	defer release()
+	return s.NumericRangeCount(d.id, lo, true, hi, true)
 }
 
 // Node fetches the node with the given FLEX key.
 func (d *Document) Node(key string) (Node, bool, error) {
-	n, ok, err := d.reader().Node(d.id, flex.Key(key))
+	s, release := d.readStore()
+	defer release()
+	n, ok, err := s.Node(d.id, flex.Key(key))
 	if err != nil || !ok {
 		return Node{}, ok, err
 	}
