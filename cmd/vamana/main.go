@@ -37,6 +37,8 @@ func main() {
 		err = cmdDocs(os.Args[2:])
 	case "traces":
 		err = cmdTraces(os.Args[2:])
+	case "requests":
+		err = cmdRequests(os.Args[2:])
 	case "cost":
 		err = cmdCost(os.Args[2:])
 	case "verify":
@@ -66,6 +68,8 @@ func usage() {
   vamana docs    -db FILE
   vamana traces  -addr HOST:PORT [-n N] [-chrome F.json]
                                                dump a serving process's flight recorder
+  vamana requests -addr HOST:PORT [-slow] [-json]
+                                               dump a vamanad's recent/slow request rings
   vamana cost    -addr HOST:PORT [-json]       dump a serving process's cost-model
                                                observatory (q-error profiles)
   vamana verify  -db FILE                      checksum every page of a database

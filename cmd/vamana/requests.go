@@ -1,0 +1,92 @@
+package main
+
+// The requests subcommand: dump a vamanad's recent and slow request
+// rings from its /debug/vamana/requests endpoint.
+//
+//	vamana requests -addr localhost:8372         recent + slow requests
+//	vamana requests -addr localhost:8372 -slow   slow ring only
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+)
+
+// requestLine mirrors serve.RequestRecord's JSON shape (the CLI stays
+// decoupled from the internal package).
+type requestLine struct {
+	Time      time.Time `json:"time"`
+	ID        string    `json:"id"`
+	Tenant    string    `json:"tenant"`
+	Doc       string    `json:"doc"`
+	Expr      string    `json:"expr"`
+	Outcome   string    `json:"outcome"`
+	Reason    string    `json:"reason"`
+	Status    int       `json:"status"`
+	QueueWait int64     `json:"queue_wait_ns"`
+	TTFB      int64     `json:"ttfb_ns"`
+	Total     int64     `json:"total_ns"`
+	Results   uint64    `json:"results"`
+	Bytes     uint64    `json:"bytes"`
+	TraceID   uint64    `json:"trace_id"`
+}
+
+func cmdRequests(args []string) error {
+	fs := flag.NewFlagSet("requests", flag.ExitOnError)
+	addr := fs.String("addr", "", "the vamanad address (e.g. localhost:8372)")
+	slowOnly := fs.Bool("slow", false, "print only the slow-request ring")
+	asJSON := fs.Bool("json", false, "print the raw JSON payload")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("requests needs -addr")
+	}
+
+	u := url.URL{Scheme: "http", Host: *addr, Path: "/debug/vamana/requests"}
+	resp, err := http.Get(u.String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("requests: %s: %s", resp.Status, body)
+	}
+	if *asJSON {
+		_, err := io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+	var payload struct {
+		Recent []requestLine `json:"recent"`
+		Slow   []requestLine `json:"slow"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return err
+	}
+	if !*slowOnly {
+		printRequests("recent", payload.Recent)
+	}
+	printRequests("slow", payload.Slow)
+	return nil
+}
+
+func printRequests(title string, lines []requestLine) {
+	fmt.Printf("%s (%d):\n", title, len(lines))
+	for _, l := range lines {
+		extra := ""
+		if l.Reason != "" {
+			extra = " reason=" + l.Reason
+		}
+		if l.TraceID != 0 {
+			extra += fmt.Sprintf(" trace=%d", l.TraceID)
+		}
+		fmt.Printf("  %s %s tenant=%s doc=%s %q %s status=%d queue=%v ttfb=%v total=%v results=%d bytes=%d%s\n",
+			l.Time.Format(time.RFC3339Nano), l.ID, l.Tenant, l.Doc, l.Expr, l.Outcome, l.Status,
+			time.Duration(l.QueueWait), time.Duration(l.TTFB), time.Duration(l.Total),
+			l.Results, l.Bytes, extra)
+	}
+}

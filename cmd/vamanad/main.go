@@ -15,6 +15,7 @@
 //	GET /v1/stats                             admission + tenant state
 //	GET /healthz                              200, or 503 while draining
 //	GET /metrics                              Prometheus text metrics
+//	GET /debug/vamana/requests                recent + slow request rings
 //	GET /debug/vamana/*                       engine debug handlers
 //
 // Requests carry their tenant in the X-Vamana-Tenant header; the
@@ -74,6 +75,10 @@ func main() {
 		tenantsPath  = flag.String("tenants", "", "tenant entitlements JSON file")
 		slowQuery    = flag.Duration("slow-query", 0, "slow-query threshold (0 = off)")
 		recorder     = flag.Int("flight-recorder", 128, "flight-recorder ring size (0 = off)")
+		accessLog    = flag.String("access-log", "", "access log destination: a file path, \"stderr\", or \"stdout\" (empty = off)")
+		requestRing  = flag.Int("request-ring", 256, "recent/slow request ring size at /debug/vamana/requests (negative = off)")
+		slowRequest  = flag.Duration("slow-request", 500*time.Millisecond, "slow-request ring threshold (negative = off)")
+		noRequestObs = flag.Bool("no-request-obs", false, "disable per-request observability (IDs, SLO histograms, access log, request rings)")
 	)
 	flag.Var(&loads, "load", "load an XML document: name=path (repeatable)")
 	flag.Parse()
@@ -130,12 +135,29 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		DB:           db,
-		MaxInflight:  *maxInflight,
-		QueueDepth:   *queueDepth,
-		QueueWait:    *queueWait,
-		MaxConns:     *maxConns,
-		DrainTimeout: *drainTimeout,
+		DB:                   db,
+		MaxInflight:          *maxInflight,
+		QueueDepth:           *queueDepth,
+		QueueWait:            *queueWait,
+		MaxConns:             *maxConns,
+		DrainTimeout:         *drainTimeout,
+		RequestRingSize:      *requestRing,
+		SlowRequestThreshold: *slowRequest,
+		DisableRequestObs:    *noRequestObs,
+	}
+	switch *accessLog {
+	case "":
+	case "stderr":
+		cfg.AccessLog = os.Stderr
+	case "stdout":
+		cfg.AccessLog = os.Stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.AccessLog = f
 	}
 	if *tenantsPath != "" {
 		raw, err := os.ReadFile(*tenantsPath)

@@ -67,6 +67,24 @@ type remoteSeries struct {
 	P95us    float64 `json:"p95_us"`
 	P99us    float64 `json:"p99_us"`
 	QPS      float64 `json:"qps"`
+	// Admission queue wait as reported by the daemon per request
+	// (X-Vamana-Queue-Wait) — separates "the server was slow" from "the
+	// request sat in line".
+	QueueWaitP50us float64 `json:"queue_wait_p50_us"`
+	QueueWaitP95us float64 `json:"queue_wait_p95_us"`
+	QueueWaitP99us float64 `json:"queue_wait_p99_us"`
+	// WorstRequests are the request IDs (X-Vamana-Request) of the
+	// slowest requests at or above the p99 latency, worst first — paste
+	// one into `vamana requests`/`vamana traces` output to see where the
+	// time went.
+	WorstRequests []remoteWorst `json:"worst_requests,omitempty"`
+}
+
+// remoteWorst identifies one tail-latency outlier request.
+type remoteWorst struct {
+	ID        string  `json:"id"`
+	LatencyUS float64 `json:"latency_us"`
+	QueueUS   float64 `json:"queue_us"`
 }
 
 type remoteOutcomes struct {
@@ -76,9 +94,16 @@ type remoteOutcomes struct {
 	Hung     int            `json:"hung"`
 }
 
+// remoteSample is one successful request's client-side observation.
+type remoteSample struct {
+	lat   time.Duration
+	queue time.Duration // from X-Vamana-Queue-Wait; zero when absent
+	id    string        // from X-Vamana-Request; empty when absent
+}
+
 // workerResult is one connection's tally, merged after the run.
 type workerResult struct {
-	lat      map[string][]time.Duration
+	samples  map[string][]remoteSample
 	ok       int
 	rejected map[string]int
 	errors   int
@@ -131,7 +156,7 @@ func runRemote() {
 		go func(w int) {
 			defer wg.Done()
 			res := workerResult{
-				lat:      make(map[string][]time.Duration),
+				samples:  make(map[string][]remoteSample),
 				rejected: make(map[string]int),
 			}
 			tenant := fmt.Sprintf("load-%d", w%max(1, *remoteTenants))
@@ -163,7 +188,13 @@ func runRemote() {
 					res.errors++
 				case resp.StatusCode == http.StatusOK:
 					res.ok++
-					res.lat[q.ID] = append(res.lat[q.ID], elapsed)
+					s := remoteSample{lat: elapsed, id: resp.Header.Get("X-Vamana-Request")}
+					if qw := resp.Header.Get("X-Vamana-Queue-Wait"); qw != "" {
+						if d, perr := time.ParseDuration(qw); perr == nil {
+							s.queue = d
+						}
+					}
+					res.samples[q.ID] = append(res.samples[q.ID], s)
 				case resp.StatusCode == http.StatusTooManyRequests ||
 					resp.StatusCode == http.StatusServiceUnavailable:
 					res.rejected[rejectionReason(body)]++
@@ -186,7 +217,7 @@ func runRemote() {
 		Queries:   make(map[string]remoteSeries),
 		Outcomes:  remoteOutcomes{Rejected: make(map[string]int)},
 	}
-	merged := make(map[string][]time.Duration)
+	merged := make(map[string][]remoteSample)
 	for _, res := range results {
 		report.Outcomes.OK += res.ok
 		report.Outcomes.Errors += res.errors
@@ -194,19 +225,46 @@ func runRemote() {
 		for reason, n := range res.rejected {
 			report.Outcomes.Rejected[reason] += n
 		}
-		for id, ls := range res.lat {
-			merged[id] = append(merged[id], ls...)
+		for id, ss := range res.samples {
+			merged[id] = append(merged[id], ss...)
 		}
 	}
-	for id, ls := range merged {
-		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
-		report.Queries[id] = remoteSeries{
-			Requests: len(ls),
-			P50us:    float64(percentile(ls, 0.50).Microseconds()),
-			P95us:    float64(percentile(ls, 0.95).Microseconds()),
-			P99us:    float64(percentile(ls, 0.99).Microseconds()),
-			QPS:      float64(len(ls)) / remoteDuration.Seconds(),
+	for id, ss := range merged {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].lat < ss[j].lat })
+		lats := make([]time.Duration, len(ss))
+		queues := make([]time.Duration, len(ss))
+		for i, s := range ss {
+			lats[i], queues[i] = s.lat, s.queue
 		}
+		sort.Slice(queues, func(i, j int) bool { return queues[i] < queues[j] })
+		series := remoteSeries{
+			Requests:       len(ss),
+			P50us:          float64(percentile(lats, 0.50).Microseconds()),
+			P95us:          float64(percentile(lats, 0.95).Microseconds()),
+			P99us:          float64(percentile(lats, 0.99).Microseconds()),
+			QPS:            float64(len(ss)) / remoteDuration.Seconds(),
+			QueueWaitP50us: float64(percentile(queues, 0.50).Microseconds()),
+			QueueWaitP95us: float64(percentile(queues, 0.95).Microseconds()),
+			QueueWaitP99us: float64(percentile(queues, 0.99).Microseconds()),
+		}
+		// Record the p99-and-above outliers (worst first, capped) by
+		// wire request ID so a bad tail is directly greppable in the
+		// daemon's access log and flight recorder.
+		p99 := percentile(lats, 0.99)
+		for i := len(ss) - 1; i >= 0 && len(series.WorstRequests) < 8; i-- {
+			if ss[i].lat < p99 {
+				break
+			}
+			if ss[i].id == "" {
+				continue
+			}
+			series.WorstRequests = append(series.WorstRequests, remoteWorst{
+				ID:        ss[i].id,
+				LatencyUS: float64(ss[i].lat.Microseconds()),
+				QueueUS:   float64(ss[i].queue.Microseconds()),
+			})
+		}
+		report.Queries[id] = series
 	}
 
 	out, err := json.MarshalIndent(report, "", "  ")

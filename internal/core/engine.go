@@ -369,6 +369,14 @@ func (e *Engine) QueryContext(cctx context.Context, doc mass.DocID, expr string,
 		if sampled {
 			obs.TracesSampled.Inc()
 		}
+		// A traced run under a serving request joins the wire identity;
+		// the finish hook then hands the export to the request instead of
+		// the flight ring (the serving layer records the combined trace).
+		if traced {
+			if rt := requestTraceFrom(cctx); rt != nil {
+				tc.Request, tc.Tenant, tc.req = rt.ID, rt.Tenant, rt
+			}
+		}
 		ctx.FinishObj = tc
 	}
 	return exec.Run(q.plan, ctx)
@@ -439,8 +447,12 @@ func (e *Engine) queryFinished(it *exec.Iterator) {
 		}
 		e.slow.record(sq)
 	}
-	if tc != nil && tc.traced && e.flight != nil {
-		e.flight.record(tc.Export())
+	if tc != nil && tc.traced {
+		if tc.req != nil {
+			tc.req.Captured = tc.Export()
+		} else if e.flight != nil {
+			e.flight.record(tc.Export())
+		}
 	}
 	if tc != nil && tc.sampled && e.traceSink != nil {
 		e.traceSink(tc)

@@ -33,6 +33,17 @@ func (f *flightRecorder) record(t *obs.QueryTrace) {
 	f.mu.Unlock()
 }
 
+// RecordTrace appends an externally assembled trace to the flight ring.
+// The serving layer uses it to record request-level traces — serve-layer
+// spans grafted above a captured engine trace (see RequestTrace) — so
+// `vamana traces` shows the whole request as one timeline. No-op when
+// the recorder is off.
+func (e *Engine) RecordTrace(t *obs.QueryTrace) {
+	if e.flight != nil {
+		e.flight.record(t)
+	}
+}
+
 // snapshot returns the recorded traces, most recent first. The traces
 // themselves are immutable once recorded; callers may hold them freely.
 func (f *flightRecorder) snapshot() []*obs.QueryTrace {

@@ -155,17 +155,65 @@ func (sn *Snapshot) QueryContext(cctx context.Context, doc mass.DocID, expr stri
 		Batch:       sn.e.execBatch,
 		Account:     true,
 	}
+	// Mirror the engine path's flight-recorder tracing: after the first
+	// Update the serving read path runs through shared snapshots, and
+	// request traces must keep working there. Snapshots share the
+	// engine's recorder and trace-ID sequence.
+	traced := sn.e.flight != nil
+	ctx.Trace = traced
+	if traced {
+		tc := &TraceContext{
+			ID:       sn.e.traceSeq.Add(1),
+			Expr:     expr,
+			Doc:      doc,
+			Start:    start,
+			CacheHit: hit,
+			Compile:  time.Since(start),
+			traced:   true,
+			q:        q,
+		}
+		if rt := requestTraceFrom(cctx); rt != nil {
+			tc.Request, tc.Tenant, tc.req = rt.ID, rt.Tenant, rt
+		}
+		ctx.FinishObj = tc
+	}
 	return exec.Run(q.plan, ctx)
 }
 
-// queryFinished folds a finished snapshot query into the usage counters.
+// queryFinished folds a finished snapshot query into the usage counters
+// and, when the run was traced, assembles and records its span tree the
+// way Engine.queryFinished does.
 func (sn *Snapshot) queryFinished(it *exec.Iterator) {
-	obs.QueryLatency.Observe(time.Since(it.StartTime()))
+	total := time.Since(it.StartTime())
+	obs.QueryLatency.Observe(total)
 	sn.queries.Add(1)
 	sn.results.Add(it.Results())
-	if lim := it.Limiter(); lim != nil {
+	lim := it.Limiter()
+	if lim != nil {
 		sn.pages.Add(lim.PagesRead())
 		sn.records.Add(lim.DecodedRecords())
+	}
+	tc, ok := it.FinishObj().(*TraceContext)
+	if !ok {
+		return
+	}
+	tc.Total = total
+	tc.Results = it.Results()
+	tc.Err = it.Err()
+	if lim != nil {
+		tc.PagesRead = lim.PagesRead()
+		tc.RecordsDecoded = lim.DecodedRecords()
+		tc.NodeCacheHits = lim.NodeCacheHits()
+	}
+	if !tc.traced {
+		return
+	}
+	tc.DocName = sn.st.DocName(tc.Doc)
+	tc.Root = buildSpanTree(tc.q.plan, it.StepSpans(), it.Results(), int64(total))
+	if tc.req != nil {
+		tc.req.Captured = tc.Export()
+	} else if sn.e.flight != nil {
+		sn.e.flight.record(tc.Export())
 	}
 }
 

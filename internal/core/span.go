@@ -113,6 +113,8 @@ func (tc *TraceContext) Export() *obs.QueryTrace {
 		PagesRead:      tc.PagesRead,
 		RecordsDecoded: tc.RecordsDecoded,
 		NodeCacheHits:  tc.NodeCacheHits,
+		Request:        tc.Request,
+		Tenant:         tc.Tenant,
 		Root:           tc.Root,
 	}
 	if t.Doc == "" {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -9,6 +10,44 @@ import (
 	"vamana/internal/mass"
 	"vamana/internal/obs"
 )
+
+// RequestTrace carries a serving-layer request's identity into the
+// engine and the finished engine trace back out. The serving layer
+// attaches one to the query context (WithRequestTrace); a traced run
+// stamps the request ID and tenant into its exported trace and, instead
+// of recording into the flight ring directly, hands the export back via
+// Captured — the serving layer grafts its own spans (queue wait, TTFB,
+// stream drain) above the engine's root and records the combined tree
+// (Engine.RecordTrace), so the ring holds one entry per request, not
+// two.
+type RequestTrace struct {
+	// ID is the wire request ID (X-Vamana-Request), Tenant the tenant
+	// the request billed to.
+	ID     string
+	Tenant string
+	// Captured receives the engine's exported trace at query finish
+	// when the run was traced; nil otherwise. Written by the finish
+	// hook, read by the request goroutine after the iterator is closed
+	// — the exactly-once finish contract orders the two.
+	Captured *obs.QueryTrace
+}
+
+// requestTraceKey keys the context attachment of a *RequestTrace.
+type requestTraceKey struct{}
+
+// WithRequestTrace returns a context carrying rt; engine runs under it
+// join their traces to the request (see RequestTrace).
+func WithRequestTrace(ctx context.Context, rt *RequestTrace) context.Context {
+	return context.WithValue(ctx, requestTraceKey{}, rt)
+}
+
+// requestTraceFrom extracts the request attachment, nil when absent.
+// Only consulted on traced runs, so the untraced hot path never pays
+// the context-value walk.
+func requestTraceFrom(ctx context.Context) *RequestTrace {
+	rt, _ := ctx.Value(requestTraceKey{}).(*RequestTrace)
+	return rt
+}
 
 // TraceContext is a per-query execution trace, produced for 1-in-N
 // Engine.Query calls when sampling is configured (Options.TraceEvery).
@@ -38,6 +77,14 @@ type TraceContext struct {
 	// Root is the assembled operator span tree — present when the run
 	// recorded spans (sampled, or the flight recorder is on).
 	Root *obs.Span
+
+	// Request and Tenant tie the trace to the serving-layer request it
+	// ran under (empty outside vamanad). req, when non-nil, receives the
+	// exported trace at finish instead of the flight ring — see
+	// RequestTrace.
+	Request string
+	Tenant  string
+	req     *RequestTrace
 
 	// sampled distinguishes a 1-in-N trace (delivered to TraceSink and
 	// counted) from a TraceContext allocated only to carry cache-miss

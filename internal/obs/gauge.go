@@ -121,12 +121,14 @@ func (v *CounterVec) Value(value string) uint64 {
 }
 
 // snapshotInto folds the family's current values into out, keyed
-// name{label="value"} — the form Snapshot and dashboards consume.
+// name{label="value"} — the form Snapshot and dashboards consume. The
+// label value is escaped per the Prometheus spec (appendPromLabel), not
+// Go %q, so user-supplied values like tenant names round-trip.
 func (v *CounterVec) snapshotInto(out map[string]uint64) {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	for value, c := range v.m {
-		out[fmt.Sprintf("%s{%s=%q}", v.name, v.label, value)] = c.Load()
+		out[fmt.Sprintf("%s{%s}", v.name, promLabel(v.label, value))] = c.Load()
 	}
 }
 
@@ -151,7 +153,7 @@ func (v *CounterVec) writeText(w io.Writer) error {
 		return err
 	}
 	for _, value := range values {
-		if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, value, counts[value]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s{%s} %d\n", v.name, promLabel(v.label, value), counts[value]); err != nil {
 			return err
 		}
 	}

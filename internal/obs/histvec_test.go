@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPromEscaping pins the label-value escaping to the Prometheus text
+// exposition spec: exactly backslash, double-quote, and newline are
+// escaped; tabs, control bytes, and UTF-8 pass through verbatim. Go's
+// %q (the bug this replaced) over-escapes the latter group.
+func TestPromEscaping(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"alpha", `alpha`},
+		{`back\slash`, `back\\slash`},
+		{`say "hi"`, `say \"hi\"`},
+		{"line\nbreak", `line\nbreak`},
+		{"tab\there", "tab\there"},          // %q would emit \t
+		{"\x01ctl", "\x01ctl"},              // %q would emit \x01
+		{"ünïcode→", "ünïcode→"},            // %q would emit \u escapes
+		{"mix\\\"\n\t", "mix\\\\\\\"\\n\t"}, // only the first three escape
+	}
+	for _, c := range cases {
+		if got := string(appendPromEscaped(nil, c.in)); got != c.want {
+			t.Errorf("appendPromEscaped(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := promLabel("tenant", `a"b`); got != `tenant="a\"b"` {
+		t.Errorf("promLabel = %q", got)
+	}
+	if got := promLabelSet([]string{"tenant", "outcome"}, []string{"t\n1", "ok"}); got != `{tenant="t\n1",outcome="ok"}` {
+		t.Errorf("promLabelSet = %q", got)
+	}
+
+	// End-to-end: a CounterVec with a hostile label value must expose
+	// the spec form, not Go-quoted form.
+	v := NewCounterVec("test_escape_total", "tenant", "Escape test.")
+	v.Inc("tab\tand\"quote")
+	var sb strings.Builder
+	if err := v.writeText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "test_escape_total{tenant=\"tab\tand\\\"quote\"} 1\n"
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("exposition = %q, missing %q", sb.String(), want)
+	}
+	snap := make(map[string]uint64)
+	v.snapshotInto(snap)
+	if snap["test_escape_total{tenant=\"tab\tand\\\"quote\"}"] != 1 {
+		t.Errorf("snapshot keys = %v", snap)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	v := NewHistogramVec("test_hist_vec_ns", "Test labeled histogram.", "tenant", "outcome")
+	if NewHistogramVec("test_hist_vec_ns", "dup", "x") != v {
+		t.Fatal("duplicate histvec registration returned a new instance")
+	}
+
+	// Quantile correctness at power-of-two resolution: 90 fast and 10
+	// slow observations put p50 in the fast bucket and p99 in the slow
+	// one.
+	for i := 0; i < 90; i++ {
+		v.Observe(100*time.Nanosecond, "alpha", "ok")
+	}
+	for i := 0; i < 10; i++ {
+		v.Observe(time.Millisecond, "alpha", "ok")
+	}
+	s := v.Snapshot("alpha", "ok")
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if p50 := s.Quantile(0.50); p50 >= time.Microsecond {
+		t.Errorf("p50 = %v, want < 1µs", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < time.Millisecond/2 || p99 > 4*time.Millisecond {
+		t.Errorf("p99 = %v, want ~1ms bucket", p99)
+	}
+	wantSum := uint64(90*100 + 10*1_000_000)
+	if s.SumNS != wantSum {
+		t.Errorf("sum = %d, want %d", s.SumNS, wantSum)
+	}
+	if z := v.Snapshot("alpha", "error"); z.Count != 0 {
+		t.Errorf("untouched cell count = %d, want 0", z.Count)
+	}
+
+	// Merge aggregates across outcome cells for per-tenant quantiles.
+	v.Observe(time.Second, "alpha", "error")
+	merged := v.Snapshot("alpha", "ok")
+	merged.Merge(v.Snapshot("alpha", "error"))
+	if merged.Count != 101 {
+		t.Errorf("merged count = %d, want 101", merged.Count)
+	}
+	if max := merged.Quantile(1.0); max < time.Second/2 {
+		t.Errorf("merged max = %v, want ~1s", max)
+	}
+
+	// Cells returns label combinations sorted by values.
+	v.Observe(time.Microsecond, "beta", "ok")
+	cells := v.Cells()
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(cells))
+	}
+	wantOrder := [][2]string{{"alpha", "error"}, {"alpha", "ok"}, {"beta", "ok"}}
+	for i, c := range cells {
+		if c.Values[0] != wantOrder[i][0] || c.Values[1] != wantOrder[i][1] {
+			t.Fatalf("cell %d = %v, want %v", i, c.Values, wantOrder[i])
+		}
+	}
+
+	// Exposition: per-cell cumulative buckets and quantile gauges.
+	var sb strings.Builder
+	if err := v.writeText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE test_hist_vec_ns histogram",
+		`test_hist_vec_ns_count{tenant="alpha",outcome="ok"} 100`,
+		`test_hist_vec_ns_bucket{tenant="alpha",outcome="ok",le="+Inf"} 100`,
+		`test_hist_vec_ns_sum{tenant="beta",outcome="ok"} 1000`,
+		"# TYPE test_hist_vec_ns_p99 gauge",
+		`test_hist_vec_ns_p50{tenant="beta",outcome="ok"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+
+	snap := make(map[string]uint64)
+	v.snapshotInto(snap)
+	if snap[`test_hist_vec_ns{tenant="alpha",outcome="ok"}_count`] != 100 {
+		t.Errorf("snapshotInto keys = %v", snap)
+	}
+}
+
+// TestHistogramVecConcurrent hammers one family from many goroutines
+// while a reader snapshots — meaningful under -race, and checks no
+// observations are lost.
+func TestHistogramVecConcurrent(t *testing.T) {
+	v := NewHistogramVec("test_hist_vec_conc_ns", "Concurrency test.", "tenant")
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				v.Snapshot("a")
+				v.Cells()
+			}
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := "a"
+			if i%2 == 1 {
+				tenant = "b"
+			}
+			for j := 0; j < perWorker; j++ {
+				v.Observe(time.Duration(j)*time.Nanosecond, tenant)
+			}
+		}(i)
+	}
+	// Writers finish, then the reader is released; no observation may be
+	// lost.
+	deadline := time.After(10 * time.Second)
+	for {
+		a, b := v.Snapshot("a").Count, v.Snapshot("b").Count
+		if a == workers/2*perWorker && b == workers/2*perWorker {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("counts did not settle: a=%d b=%d", a, b)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

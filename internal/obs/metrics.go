@@ -65,6 +65,18 @@ var (
 	ServerQueueWait = NewHistogram("vamana_server_queue_wait_ns",
 		"Time admitted requests spent in the admission queue in nanoseconds.")
 
+	// Per-tenant SLO histograms: end-to-end request latency and
+	// admission queue wait, labeled by tenant and outcome ("ok",
+	// "rejected", "error", "canceled" — serve.classifyOutcome). These
+	// are what /metrics p50/p95/p99 per tenant and the TenantStats
+	// latency quantiles are computed from.
+	ServerRequestLatency = NewHistogramVec("vamana_server_request_latency_ns",
+		"End-to-end /v1/query latency per tenant and outcome in nanoseconds.",
+		"tenant", "outcome")
+	ServerRequestQueueWait = NewHistogramVec("vamana_server_request_queue_wait_ns",
+		"Admission queue wait per tenant and outcome in nanoseconds (zero when a slot was free on arrival).",
+		"tenant", "outcome")
+
 	// Per-tenant traffic: the serving daemon stamps every outcome with
 	// the tenant label, so dashboards can attribute load and rejections.
 	TenantQueries = NewCounterVec("vamana_tenant_queries_total", "tenant",

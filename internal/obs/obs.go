@@ -59,6 +59,7 @@ var registry struct {
 	histograms []*Histogram
 	gauges     []*Gauge
 	vecs       []*CounterVec
+	histVecs   []*HistogramVec
 }
 
 // numStripes spreads each metric's hot atomics over independent cache
@@ -193,17 +194,7 @@ type HistogramSnapshot struct {
 // Snapshot copies the histogram's current buckets and sum, folding the
 // stripes together.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	var s HistogramSnapshot
-	for i := range h.stripes {
-		st := &h.stripes[i]
-		for j := range st.buckets {
-			n := st.buckets[j].Load()
-			s.Buckets[j] += n
-			s.Count += n
-		}
-		s.SumNS += st.sumNS.Load()
-	}
-	return s
+	return snapshotStripes(&h.stripes)
 }
 
 // Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
@@ -243,6 +234,7 @@ func Snapshot() map[string]uint64 {
 	histograms := append([]*Histogram(nil), registry.histograms...)
 	gauges := append([]*Gauge(nil), registry.gauges...)
 	vecs := append([]*CounterVec(nil), registry.vecs...)
+	histVecs := append([]*HistogramVec(nil), registry.histVecs...)
 	registry.mu.Unlock()
 	out := make(map[string]uint64, len(counters)+2*len(histograms))
 	for _, c := range counters {
@@ -252,6 +244,9 @@ func Snapshot() map[string]uint64 {
 		out[g.name] = uint64(g.Value())
 	}
 	for _, v := range vecs {
+		v.snapshotInto(out)
+	}
+	for _, v := range histVecs {
 		v.snapshotInto(out)
 	}
 	for _, h := range histograms {
@@ -274,6 +269,7 @@ func WriteText(w io.Writer) error {
 	histograms := append([]*Histogram(nil), registry.histograms...)
 	gauges := append([]*Gauge(nil), registry.gauges...)
 	vecs := append([]*CounterVec(nil), registry.vecs...)
+	histVecs := append([]*HistogramVec(nil), registry.histVecs...)
 	registry.mu.Unlock()
 	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
 	for _, c := range counters {
@@ -290,6 +286,12 @@ func WriteText(w io.Writer) error {
 	}
 	sort.Slice(vecs, func(i, j int) bool { return vecs[i].name < vecs[j].name })
 	for _, v := range vecs {
+		if err := v.writeText(w); err != nil {
+			return err
+		}
+	}
+	sort.Slice(histVecs, func(i, j int) bool { return histVecs[i].name < histVecs[j].name })
+	for _, v := range histVecs {
 		if err := v.writeText(w); err != nil {
 			return err
 		}

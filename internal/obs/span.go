@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 )
@@ -50,6 +51,10 @@ type Span struct {
 	// Children are the spans nested under this one (context child first,
 	// then predicate subtrees), in plan order.
 	Children []*Span `json:"children,omitempty"`
+	// Attrs carries exporter-visible annotations for spans assembled
+	// outside the executor (serve-layer spans: request ID, byte counts,
+	// outcome); nil for engine operator spans.
+	Attrs map[string]string `json:"attrs,omitempty"`
 }
 
 // QueryTrace is one query's complete recorded execution: identity,
@@ -79,6 +84,11 @@ type QueryTrace struct {
 	NodeCacheHits  uint64 `json:"node_cache_hits"`
 	// Err is the query's terminal error text, empty on success.
 	Err string `json:"err,omitempty"`
+	// Request and Tenant tie the trace to the serving-layer request it
+	// ran under: the wire request ID (X-Vamana-Request) and the tenant
+	// it billed to. Empty for queries not driven through vamanad.
+	Request string `json:"request,omitempty"`
+	Tenant  string `json:"tenant,omitempty"`
 	// Root is the span tree, nil when spans were not recorded (e.g. the
 	// query failed before execution).
 	Root *Span `json:"root,omitempty"`
@@ -92,6 +102,16 @@ func (t *QueryTrace) WriteTree(w io.Writer) error {
 		t.ID, t.Expr, t.Doc, t.Start.Format(time.RFC3339Nano), t.Compile, t.Total,
 		t.Results, t.PagesRead, t.RecordsDecoded, t.NodeCacheHits); err != nil {
 		return err
+	}
+	if t.Request != "" {
+		if _, err := fmt.Fprintf(w, " req=%s", t.Request); err != nil {
+			return err
+		}
+	}
+	if t.Tenant != "" {
+		if _, err := fmt.Fprintf(w, " tenant=%s", t.Tenant); err != nil {
+			return err
+		}
 	}
 	if t.CacheHit {
 		if _, err := io.WriteString(w, " plan=cached"); err != nil {
@@ -135,6 +155,18 @@ func writeSpanTree(w io.Writer, s *Span, depth int) error {
 			return err
 		}
 	}
+	if len(s.Attrs) > 0 {
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, " %s=%s", k, s.Attrs[k]); err != nil {
+				return err
+			}
+		}
+	}
 	if _, err := io.WriteString(w, "\n"); err != nil {
 		return err
 	}
@@ -176,14 +208,15 @@ type chromeFile struct {
 // spanArgs is the per-event metadata payload shown in the trace
 // viewer's detail pane.
 type spanArgs struct {
-	Kind           string `json:"kind"`
-	In             uint64 `json:"in"`
-	Scanned        uint64 `json:"scanned,omitempty"`
-	Out            uint64 `json:"out"`
-	PagesRead      uint64 `json:"pages_read,omitempty"`
-	RecordsDecoded uint64 `json:"records_decoded,omitempty"`
-	EstIn          uint64 `json:"est_in,omitempty"`
-	EstOut         uint64 `json:"est_out,omitempty"`
+	Kind           string            `json:"kind"`
+	In             uint64            `json:"in"`
+	Scanned        uint64            `json:"scanned,omitempty"`
+	Out            uint64            `json:"out"`
+	PagesRead      uint64            `json:"pages_read,omitempty"`
+	RecordsDecoded uint64            `json:"records_decoded,omitempty"`
+	EstIn          uint64            `json:"est_in,omitempty"`
+	EstOut         uint64            `json:"est_out,omitempty"`
+	Attrs          map[string]string `json:"attrs,omitempty"`
 }
 
 // WriteChromeTrace writes the traces as a Chrome trace-event JSON
@@ -211,15 +244,24 @@ func WriteChromeTrace(w io.Writer, traces []*QueryTrace) error {
 			Args: map[string]string{"name": fmt.Sprintf("query %d %s", t.ID, label)},
 		})
 		// The whole-query envelope event covers compile + execution.
+		// Request identity joins only when present, so engine-only
+		// traces keep their exact historical (golden-tested) shape.
+		qargs := map[string]interface{}{
+			"expr": t.Expr, "doc": t.Doc, "results": t.Results,
+			"cache_hit": t.CacheHit, "pages_read": t.PagesRead,
+			"records_decoded": t.RecordsDecoded, "node_cache_hits": t.NodeCacheHits,
+		}
+		if t.Request != "" {
+			qargs["request"] = t.Request
+		}
+		if t.Tenant != "" {
+			qargs["tenant"] = t.Tenant
+		}
 		f.TraceEvents = append(f.TraceEvents, chromeEvent{
 			Name: "query", Cat: "query", Ph: "X",
 			TS: offUS, Dur: float64(t.Total.Nanoseconds()) / 1e3,
 			PID: 1, TID: t.ID,
-			Args: map[string]interface{}{
-				"expr": t.Expr, "doc": t.Doc, "results": t.Results,
-				"cache_hit": t.CacheHit, "pages_read": t.PagesRead,
-				"records_decoded": t.RecordsDecoded, "node_cache_hits": t.NodeCacheHits,
-			},
+			Args: qargs,
 		})
 		if t.Compile > 0 {
 			f.TraceEvents = append(f.TraceEvents, chromeEvent{
@@ -247,7 +289,7 @@ func appendChromeSpans(events *[]interface{}, s *Span, offUS float64, tid uint64
 		Args: spanArgs{
 			Kind: s.Kind, In: s.In, Scanned: s.Scanned, Out: s.Out,
 			PagesRead: s.PagesRead, RecordsDecoded: s.RecordsDecoded,
-			EstIn: s.EstIn, EstOut: s.EstOut,
+			EstIn: s.EstIn, EstOut: s.EstOut, Attrs: s.Attrs,
 		},
 	})
 	for _, c := range s.Children {

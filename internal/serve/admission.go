@@ -111,18 +111,28 @@ func (a *admission) retryAfter() time.Duration {
 // error. On nil return the caller holds one in-flight slot (global and
 // tenant) and must release(tn) exactly once when the request finishes.
 func (a *admission) acquire(ctx context.Context, tn *tenant) error {
+	_, err := a.admit(ctx, tn)
+	return err
+}
+
+// admit is acquire reporting how long the request sat in the admission
+// queue (zero when a slot was free on arrival) — the serving layer
+// records it per tenant and echoes it on the wire.
+func (a *admission) admit(ctx context.Context, tn *tenant) (time.Duration, error) {
 	a.mu.Lock()
 	if a.draining {
 		a.mu.Unlock()
 		obs.ServerRejectedDraining.Inc()
 		obs.TenantRejections.Inc(tn.name)
-		return &OverloadError{Reason: RejectDraining, Tenant: tn.name, RetryAfter: a.retryAfter()}
+		tn.rejected.Add(1)
+		return 0, &OverloadError{Reason: RejectDraining, Tenant: tn.name, RetryAfter: a.retryAfter()}
 	}
 	if tn.cfg.MaxInflight > 0 && tn.inflight >= tn.cfg.MaxInflight {
 		a.mu.Unlock()
 		obs.ServerRejectedTenant.Inc()
 		obs.TenantRejections.Inc(tn.name)
-		return &OverloadError{Reason: RejectTenantBusy, Tenant: tn.name, RetryAfter: a.retryAfter()}
+		tn.rejected.Add(1)
+		return 0, &OverloadError{Reason: RejectTenantBusy, Tenant: tn.name, RetryAfter: a.retryAfter()}
 	}
 	if a.inflight < a.maxInflight {
 		a.inflight++
@@ -130,13 +140,14 @@ func (a *admission) acquire(ctx context.Context, tn *tenant) error {
 		obs.ServerInflight.Set(int64(a.inflight))
 		a.mu.Unlock()
 		obs.ServerAdmitted.Inc()
-		return nil
+		return 0, nil
 	}
 	if len(a.queue) >= a.queueDepth {
 		a.mu.Unlock()
 		obs.ServerRejectedQueueFull.Inc()
 		obs.TenantRejections.Inc(tn.name)
-		return &OverloadError{Reason: RejectQueueFull, Tenant: tn.name, RetryAfter: a.retryAfter()}
+		tn.rejected.Add(1)
+		return 0, &OverloadError{Reason: RejectQueueFull, Tenant: tn.name, RetryAfter: a.retryAfter()}
 	}
 	w := &waiter{ready: make(chan error, 1), tn: tn}
 	a.queue = append(a.queue, w)
@@ -151,15 +162,16 @@ func (a *admission) acquire(ctx context.Context, tn *tenant) error {
 	case err := <-w.ready:
 		// Granted a transferred slot, or rejected by Drain / a tenant-cap
 		// check at grant time.
+		wait := time.Since(start)
 		if err == nil {
-			obs.ServerQueueWait.Observe(time.Since(start))
+			obs.ServerQueueWait.Observe(wait)
 			obs.ServerAdmitted.Inc()
 		}
-		return err
+		return wait, err
 	case <-ctx.Done():
 		if a.abandon(w) {
 			obs.ServerQueueCanceled.Inc()
-			return ctxError(ctx)
+			return time.Since(start), ctxError(ctx)
 		}
 		// A grant (or rejection) raced the cancellation; the client is
 		// gone either way, so give any granted slot straight back.
@@ -167,21 +179,23 @@ func (a *admission) acquire(ctx context.Context, tn *tenant) error {
 			a.release(tn)
 		}
 		obs.ServerQueueCanceled.Inc()
-		return ctxError(ctx)
+		return time.Since(start), ctxError(ctx)
 	case <-timer.C:
 		if a.abandon(w) {
 			obs.ServerRejectedQueueTimeout.Inc()
 			obs.TenantRejections.Inc(tn.name)
-			return &OverloadError{Reason: RejectQueueTimeout, Tenant: tn.name, RetryAfter: a.retryAfter()}
+			tn.rejected.Add(1)
+			return time.Since(start), &OverloadError{Reason: RejectQueueTimeout, Tenant: tn.name, RetryAfter: a.retryAfter()}
 		}
 		// The grant beat the timer by a hair — the request is still live,
 		// so take the slot and run.
+		wait := time.Since(start)
 		if err := <-w.ready; err != nil {
-			return err
+			return wait, err
 		}
-		obs.ServerQueueWait.Observe(time.Since(start))
+		obs.ServerQueueWait.Observe(wait)
 		obs.ServerAdmitted.Inc()
-		return nil
+		return wait, nil
 	}
 }
 
@@ -199,6 +213,7 @@ func (a *admission) release(tn *tenant) {
 		if w.tn.cfg.MaxInflight > 0 && w.tn.inflight >= w.tn.cfg.MaxInflight {
 			obs.ServerRejectedTenant.Inc()
 			obs.TenantRejections.Inc(w.tn.name)
+			w.tn.rejected.Add(1)
 			w.ready <- &OverloadError{Reason: RejectTenantBusy, Tenant: w.tn.name, RetryAfter: a.retryAfter()}
 			continue
 		}
@@ -244,6 +259,7 @@ func (a *admission) drain() {
 	for _, w := range queued {
 		obs.ServerRejectedDraining.Inc()
 		obs.TenantRejections.Inc(w.tn.name)
+		w.tn.rejected.Add(1)
 		w.ready <- &OverloadError{Reason: RejectDraining, Tenant: w.tn.name, RetryAfter: retry}
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -74,6 +75,25 @@ type Config struct {
 	// Tenants maps tenant names to explicit entitlements.
 	Tenants map[string]TenantConfig
 
+	// AccessLog receives one structured NDJSON line per finished
+	// /v1/query request (id, tenant, expr hash, outcome, queue wait,
+	// TTFB, total, bytes). nil disables the log; rings and metrics are
+	// unaffected.
+	AccessLog io.Writer
+	// RequestRingSize bounds the recent-requests ring served at
+	// /debug/vamana/requests (the slow ring has the same capacity).
+	// Default 256; negative disables the rings.
+	RequestRingSize int
+	// SlowRequestThreshold routes requests at or above this end-to-end
+	// duration (and every errored request) into the slow-request ring.
+	// Default 500ms; negative disables the slow ring.
+	SlowRequestThreshold time.Duration
+	// DisableRequestObs turns off per-request observability entirely —
+	// request IDs, SLO histograms, access log, request rings, combined
+	// serve+engine traces. The cumulative tenant counters in TenantStats
+	// keep counting (they are accounting, not observability).
+	DisableRequestObs bool
+
 	// Hooks expose deterministic test points; nil in production.
 	Hooks Hooks
 }
@@ -94,6 +114,7 @@ type Server struct {
 	db  *vamana.DB
 	adm *admission
 	reg *registry
+	obs *requestObs // nil when Config.DisableRequestObs
 	mux *http.ServeMux
 
 	// wg tracks in-flight query handlers so Handler-only deployments
@@ -122,11 +143,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 30 * time.Second
 	}
+	if cfg.RequestRingSize == 0 {
+		cfg.RequestRingSize = 256
+	}
+	if cfg.SlowRequestThreshold == 0 {
+		cfg.SlowRequestThreshold = 500 * time.Millisecond
+	}
 	s := &Server{
 		cfg: cfg,
 		db:  cfg.DB,
 		adm: newAdmission(cfg.MaxInflight, cfg.QueueDepth, cfg.QueueWait),
 		reg: newRegistry(cfg.DefaultTenant, cfg.Tenants),
+	}
+	if !cfg.DisableRequestObs {
+		s.obs = newRequestObs(cfg.AccessLog, cfg.RequestRingSize, cfg.SlowRequestThreshold)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
@@ -134,6 +164,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", cfg.DB.MetricsHandler())
+	mux.HandleFunc("/debug/vamana/requests", s.handleRequests)
 	mux.Handle("/debug/vamana/", cfg.DB.DebugHandler("/debug/vamana"))
 	s.mux = mux
 	return s, nil
@@ -334,12 +365,15 @@ func parseQuery(r *http.Request) (queryRequest, error) {
 }
 
 // handleQuery is the daemon's main endpoint: admission, tenancy,
-// execution, NDJSON streaming.
+// execution, NDJSON streaming — with one request ID threading the
+// serve-layer spans, the engine trace, the SLO histograms, and the
+// access log together (see obsv.go).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	start := time.Now()
 	req, err := parseQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -350,11 +384,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	defer s.wg.Done()
 
-	if err := s.adm.acquire(r.Context(), tn); err != nil {
+	// Byte accounting stays on unconditionally (TenantStats must be
+	// truthful); everything else hangs off rs, nil when request
+	// observability is disabled. rs.finish is deferred first so it runs
+	// last — after res.Close has fired the engine's finish hook and
+	// filled the captured trace.
+	cw := &countingWriter{ResponseWriter: w, start: start}
+	w = cw
+	var count uint64
+	var rs *reqState
+	if s.obs != nil {
+		rs = s.beginRequest(cw, r, tn, req, start)
+		defer func() { rs.finish(count) }()
+	}
+
+	queueWait, err := s.adm.admit(r.Context(), tn)
+	if rs != nil {
+		rs.admitted(queueWait, err)
+	}
+	if err != nil {
 		writeError(w, err)
 		return
 	}
 	defer s.adm.release(tn)
+	defer func() {
+		tn.served.Add(1)
+		tn.bytesOut.Add(cw.bytes)
+	}()
 	if s.cfg.Hooks.PostAdmit != nil {
 		s.cfg.Hooks.PostAdmit(tn.name)
 	}
@@ -371,13 +427,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	doc, err := s.db.Document(req.doc)
 	if err != nil {
+		if rs != nil {
+			rs.fail(err)
+		}
 		writeError(w, err)
 		return
 	}
 
+	ctx := r.Context()
+	if rs != nil {
+		// A traced engine run joins the request: it stamps the wire ID
+		// into its trace and hands the export back for span grafting.
+		ctx = vamana.WithRequestTrace(ctx, &rs.rt)
+		rs.executing()
+	}
 	var res *vamana.Results
 	if tn.allowCached(req.expr) {
-		res, err = s.db.QueryContext(r.Context(), doc, req.expr, opts...)
+		res, err = s.db.QueryContext(ctx, doc, req.expr, opts...)
 	} else {
 		// Plan quota exhausted: compile a throwaway plan so this tenant
 		// cannot churn the shared plan cache.
@@ -385,10 +451,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var q *vamana.Query
 		q, err = s.db.Prepare(req.expr, vamana.WithDocument(doc), vamana.WithoutCache())
 		if err == nil {
-			res, err = q.Run(r.Context(), doc, opts...)
+			res, err = q.Run(ctx, doc, opts...)
 		}
 	}
 	if err != nil {
+		if rs != nil {
+			rs.fail(err)
+		}
 		writeError(w, err)
 		return
 	}
@@ -399,7 +468,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// through one buffered writer so a large result set is framed in
 	// few big chunks instead of one chunk (and potentially one syscall)
 	// per node.
-	var count uint64
 	var bw *bufio.Writer
 	startStream := func() {
 		w.Header().Set("Content-Type", "application/x-ndjson")
@@ -410,6 +478,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for res.Next() {
 		n, nerr := res.Node()
 		if nerr != nil {
+			if rs != nil {
+				rs.fail(nerr)
+			}
 			if bw == nil {
 				writeError(w, nerr)
 				return
@@ -425,6 +496,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		line = appendNode(line[:0], n)
 		if _, werr := bw.Write(line); werr != nil {
 			// Client went away mid-stream; nothing left to tell it.
+			if rs != nil {
+				rs.fail(context.Canceled)
+			}
 			obs.TenantResults.Add(tn.name, count)
 			return
 		}
@@ -432,6 +506,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	obs.TenantResults.Add(tn.name, count)
 	if qerr := res.Err(); qerr != nil {
+		if rs != nil {
+			rs.fail(qerr)
+		}
 		if bw == nil {
 			writeError(w, qerr)
 			return

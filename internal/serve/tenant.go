@@ -14,8 +14,11 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"vamana"
+	"vamana/internal/obs"
 )
 
 // TenantConfig is one tenant's entitlements. The zero value is fully
@@ -41,6 +44,14 @@ type tenant struct {
 	// inflight is guarded by the admission controller's mutex — the cap
 	// check and the queue decision must be one atomic step.
 	inflight int
+
+	// Cumulative traffic counters. Unlike the obs metrics these are not
+	// gated on collection being enabled: Stats and /v1/stats report them
+	// as facts about the tenant, and facts must stay truthful with the
+	// metrics layer switched off.
+	served   atomic.Uint64 // requests admitted and finished (any outcome)
+	rejected atomic.Uint64 // admission rejections, all reasons
+	bytesOut atomic.Uint64 // response body bytes streamed
 
 	// plans is the tenant's cacheable-expression set, capped at
 	// PlanQuota; nil when the quota is unlimited.
@@ -77,12 +88,23 @@ func (t *tenant) allowCached(expr string) bool {
 }
 
 // TenantStats is one tenant's live serving state, reported by
-// Server.Stats and /v1/stats.
+// Server.Stats and /v1/stats: the instantaneous admission picture,
+// cumulative traffic since process start, and request-latency quantiles
+// aggregated across outcomes (power-of-two upper bounds, zero until the
+// tenant has finished a request or metrics collection is off).
 type TenantStats struct {
 	Inflight    int `json:"inflight"`
 	MaxInflight int `json:"max_inflight,omitempty"`
 	PlanQuota   int `json:"plan_quota,omitempty"`
 	PlansCached int `json:"plans_cached"`
+
+	Served        uint64 `json:"served"`
+	Rejected      uint64 `json:"rejected"`
+	BytesStreamed uint64 `json:"bytes_streamed"`
+
+	LatencyP50 time.Duration `json:"latency_p50_ns,omitempty"`
+	LatencyP95 time.Duration `json:"latency_p95_ns,omitempty"`
+	LatencyP99 time.Duration `json:"latency_p99_ns,omitempty"`
 }
 
 // registry resolves tenant names to live tenant records. Configured
@@ -137,6 +159,14 @@ func (r *registry) snapshot(adm *admission) map[string]TenantStats {
 		names = append(names, t)
 	}
 	r.mu.RUnlock()
+	// One pass over the latency family gives every tenant's quantiles:
+	// cells are (tenant, outcome), merged per tenant across outcomes.
+	byTenant := make(map[string]obs.HistogramSnapshot)
+	for _, c := range obs.ServerRequestLatency.Cells() {
+		s := byTenant[c.Values[0]]
+		s.Merge(c.HistogramSnapshot)
+		byTenant[c.Values[0]] = s
+	}
 	out := make(map[string]TenantStats, len(names))
 	for _, t := range names {
 		t.mu.Lock()
@@ -145,12 +175,21 @@ func (r *registry) snapshot(adm *admission) map[string]TenantStats {
 		adm.mu.Lock()
 		inflight := t.inflight
 		adm.mu.Unlock()
-		out[t.name] = TenantStats{
-			Inflight:    inflight,
-			MaxInflight: t.cfg.MaxInflight,
-			PlanQuota:   t.cfg.PlanQuota,
-			PlansCached: cached,
+		st := TenantStats{
+			Inflight:      inflight,
+			MaxInflight:   t.cfg.MaxInflight,
+			PlanQuota:     t.cfg.PlanQuota,
+			PlansCached:   cached,
+			Served:        t.served.Load(),
+			Rejected:      t.rejected.Load(),
+			BytesStreamed: t.bytesOut.Load(),
 		}
+		if lat, ok := byTenant[t.name]; ok && lat.Count > 0 {
+			st.LatencyP50 = lat.Quantile(0.50)
+			st.LatencyP95 = lat.Quantile(0.95)
+			st.LatencyP99 = lat.Quantile(0.99)
+		}
+		out[t.name] = st
 	}
 	return out
 }

@@ -114,10 +114,11 @@ VAMANA_MIXED_GATE=1 go test -race -run '^TestMixedReadWriteGate$' -v -count 1 -t
 echo "== server battery under the race detector"
 # Admission state machine on the wire, concurrent tenants vs a
 # committing writer with byte-identical streams, graceful drain
-# (including crash-during-drain recovery), goroutine-leak checks —
-# the vamanad proof obligations. Included in the plain ./... -race
-# pass above, but run with -count 1 here so a cached result never
-# masks a flaky race.
+# (including crash-during-drain recovery), goroutine-leak checks, and
+# the request-observability battery (wire IDs, access log, request
+# rings, combined serve+engine traces) — the vamanad proof
+# obligations. Included in the plain ./... -race pass above, but run
+# with -count 1 here so a cached result never masks a flaky race.
 go test -race -count 1 ./internal/serve
 
 echo "== remote overhead gate (vamanad HTTP vs in-process, 3x budget)"
@@ -125,5 +126,12 @@ echo "== remote overhead gate (vamanad HTTP vs in-process, 3x budget)"
 # paired interleaved rounds, best-of-rounds — see
 # TestRemoteOverheadGate.
 VAMANA_REMOTE_GATE=1 go test -run '^TestRemoteOverheadGate$' -v -count 1 .
+
+echo "== serve observability overhead gate (request obs on vs off, 2% budget)"
+# Remote cached Q1 p95 with the full per-request stack (IDs, SLO
+# histograms, access log, rings) vs the same daemon with it disabled,
+# paired interleaved rounds, best-of-rounds — see
+# TestServeObsOverheadGate.
+VAMANA_SERVE_OBS_GATE=1 go test -run '^TestServeObsOverheadGate$' -v -count 1 .
 
 echo "OK"

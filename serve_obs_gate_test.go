@@ -1,0 +1,136 @@
+package vamana_test
+
+// TestServeObsOverheadGate bounds the cost of full request
+// observability on the serving hot path: the client-observed p95 of the
+// cached paper query Q1 over loopback HTTP against a daemon with
+// request IDs, SLO histograms, an access log, and request rings all on
+// must stay within 1.02x of the same daemon with request observability
+// disabled. Everything the feature adds per request — ID resolution,
+// header echoes, two histogram observations, the NDJSON log line, two
+// ring inserts — lives inside that 2%.
+//
+// Methodology matches the repo's other perf gates: two servers over one
+// shared DB (same plan cache, same pages), paired interleaved rounds so
+// machine noise lands on both sides, best-of-rounds p95 per side,
+// several attempts so only a persistent regression fails.
+//
+// Skipped unless VAMANA_SERVE_OBS_GATE is set — scripts/check.sh runs
+// it. Gates jitter around ±7% on shared hardware; re-run a failing gate
+// alone before calling it a regression.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"vamana"
+	"vamana/internal/serve"
+	"vamana/internal/xmark"
+)
+
+func TestServeObsOverheadGate(t *testing.T) {
+	if os.Getenv("VAMANA_SERVE_OBS_GATE") == "" {
+		t.Skip("set VAMANA_SERVE_OBS_GATE=1 to run the serve observability overhead gate")
+	}
+	const (
+		q1              = "//person/address" // the paper's Q1
+		queriesPerRound = 120
+		rounds          = 3
+		attempts        = 4
+		maxMultiple     = 1.02
+	)
+
+	db, err := vamana.Open(vamana.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.LoadXMLString("auction",
+		xmark.GenerateString(xmark.Config{Factor: 0.02, Seed: 51})); err != nil {
+		t.Fatal(err)
+	}
+
+	newServer := func(disableObs bool) string {
+		cfg := serve.Config{DB: db, DisableRequestObs: disableObs}
+		if !disableObs {
+			// The full stack: access log (discarded — the write path runs,
+			// the sink is free), default rings, default slow threshold.
+			cfg.AccessLog = io.Discard
+		}
+		srv, err := serve.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return ts.URL + "/v1/query?doc=auction&q=" + q1
+	}
+	obsURL := newServer(false)
+	offURL := newServer(true)
+	client := &http.Client{}
+
+	drain := func(url string) {
+		t.Helper()
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	}
+	// Warm both servers: plan cache, probe memo, HTTP connections.
+	for i := 0; i < 5; i++ {
+		drain(obsURL)
+		drain(offURL)
+	}
+
+	p95 := func(lats []time.Duration) time.Duration {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return lats[len(lats)*95/100]
+	}
+	measureRound := func() (withObs, without time.Duration) {
+		on := make([]time.Duration, 0, queriesPerRound)
+		off := make([]time.Duration, 0, queriesPerRound)
+		for i := 0; i < queriesPerRound; i++ {
+			begin := time.Now()
+			drain(obsURL)
+			on = append(on, time.Since(begin))
+			begin = time.Now()
+			drain(offURL)
+			off = append(off, time.Since(begin))
+		}
+		return p95(on), p95(off)
+	}
+
+	var lastMsg string
+	for attempt := 0; attempt < attempts; attempt++ {
+		onBest, offBest := time.Duration(1<<62), time.Duration(1<<62)
+		for r := 0; r < rounds; r++ {
+			on, off := measureRound()
+			if on < onBest {
+				onBest = on
+			}
+			if off < offBest {
+				offBest = off
+			}
+		}
+		multiple := float64(onBest) / float64(offBest)
+		lastMsg = fmt.Sprintf("cached Q1 remote p95 obs-on=%v obs-off=%v multiple=%.3f (bound %.2f)",
+			onBest, offBest, multiple, maxMultiple)
+		t.Log(lastMsg)
+		if multiple <= maxMultiple {
+			return
+		}
+	}
+	t.Fatalf("request observability overhead exceeded bound after %d attempts: %s", attempts, lastMsg)
+}

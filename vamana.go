@@ -146,6 +146,22 @@ func WriteChromeTrace(w io.Writer, traces []*QueryTrace) error {
 	return obs.WriteChromeTrace(w, traces)
 }
 
+// RequestTrace joins a serving-layer request to the engine trace that
+// runs under it: attach one to a query context with WithRequestTrace and
+// the engine stamps the request ID and tenant into the exported trace;
+// when the run was traced (flight recorder on), the export is handed
+// back in Captured instead of the flight ring so the serving layer can
+// graft its own spans above it and record the combined trace
+// (DB.RecordTrace) — one ring entry per request, serve and engine spans
+// in one timeline.
+type RequestTrace = core.RequestTrace
+
+// WithRequestTrace returns a context carrying rt; queries run under it
+// join their traces to the request (see RequestTrace).
+func WithRequestTrace(ctx context.Context, rt *RequestTrace) context.Context {
+	return core.WithRequestTrace(ctx, rt)
+}
+
 // SlowQuery is one recorded slow query (see Options.SlowQueryThreshold).
 type SlowQuery = core.SlowQuery
 
@@ -460,6 +476,12 @@ func (db *DB) SlowQueries() []SlowQuery { return db.engine.SlowQueries() }
 // complete query traces with span trees, most recent first. Empty unless
 // Options.FlightRecorderSize was set.
 func (db *DB) RecentTraces() []*QueryTrace { return db.engine.Traces() }
+
+// RecordTrace appends an externally assembled trace to the flight
+// recorder — the serving daemon uses it to record request-level traces
+// (serve-layer spans above a Captured engine trace, see RequestTrace).
+// No-op unless Options.FlightRecorderSize was set.
+func (db *DB) RecordTrace(t *QueryTrace) { db.engine.RecordTrace(t) }
 
 // WriteMetrics writes the full metric exposition in Prometheus text
 // format: the process-global execution and serving metrics followed by
